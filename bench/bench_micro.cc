@@ -1,0 +1,102 @@
+// Microbenchmarks (google-benchmark) for the toolkit's hot paths: gate
+// application, annealing sweeps, QUBO construction, DP join optimization and
+// hash-join execution. These are engineering benchmarks, not paper
+// experiments; they track the substrate's raw speed.
+
+#include <benchmark/benchmark.h>
+
+#include "qdm/anneal/simulated_annealing.h"
+#include "qdm/circuit/circuit.h"
+#include "qdm/common/rng.h"
+#include "qdm/db/executor.h"
+#include "qdm/db/join_optimizer.h"
+#include "qdm/db/workload.h"
+#include "qdm/qopt/mqo.h"
+#include "qdm/sim/statevector.h"
+
+namespace {
+
+void BM_Hadamard1Q(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  qdm::sim::Statevector sv(n);
+  const qdm::linalg::Matrix h =
+      qdm::circuit::SingleQubitMatrix(qdm::circuit::GateKind::kH, {});
+  for (auto _ : state) {
+    for (int q = 0; q < n; ++q) sv.Apply1Q(h, q);
+    benchmark::DoNotOptimize(sv.amplitudes().data());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_Hadamard1Q)->Arg(10)->Arg(16)->Arg(20);
+
+void BM_CnotLadder(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  qdm::circuit::Circuit c(n);
+  c.H(0);
+  for (int q = 0; q + 1 < n; ++q) c.CX(q, q + 1);
+  for (auto _ : state) {
+    qdm::sim::Statevector sv = qdm::sim::RunCircuit(c);
+    benchmark::DoNotOptimize(sv.amplitudes().data());
+  }
+}
+BENCHMARK(BM_CnotLadder)->Arg(12)->Arg(18);
+
+void BM_AnnealSweeps(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  qdm::Rng rng(1);
+  qdm::anneal::Qubo qubo(n);
+  for (int i = 0; i < n; ++i) qubo.AddLinear(i, rng.Uniform(-1, 1));
+  for (int i = 0; i < n; ++i) {
+    for (int j = i + 1; j < n && j < i + 8; ++j) {
+      qubo.AddQuadratic(i, j, rng.Uniform(-1, 1));
+    }
+  }
+  qdm::anneal::SimulatedAnnealer annealer(
+      qdm::anneal::AnnealSchedule{.num_sweeps = 100});
+  for (auto _ : state) {
+    auto set = annealer.SampleQubo(qubo, 1, &rng);
+    benchmark::DoNotOptimize(set.best().energy);
+  }
+  state.SetItemsProcessed(state.iterations() * 100 * n);  // Flips proposed.
+}
+BENCHMARK(BM_AnnealSweeps)->Arg(64)->Arg(256)->Arg(1024);
+
+void BM_MqoQuboBuild(benchmark::State& state) {
+  qdm::Rng rng(2);
+  auto problem = qdm::qopt::GenerateMqoProblem(
+      static_cast<int>(state.range(0)), 3, 0.3, &rng);
+  for (auto _ : state) {
+    auto qubo = qdm::qopt::MqoToQubo(problem);
+    benchmark::DoNotOptimize(qubo.num_variables());
+  }
+}
+BENCHMARK(BM_MqoQuboBuild)->Arg(8)->Arg(32);
+
+void BM_OptimalBushyPlan(benchmark::State& state) {
+  qdm::Rng rng(3);
+  auto graph = qdm::db::JoinGraph::RandomClique(
+      static_cast<int>(state.range(0)), &rng);
+  for (auto _ : state) {
+    auto plan = qdm::db::OptimalBushyPlan(graph);
+    benchmark::DoNotOptimize(plan.cost);
+  }
+}
+BENCHMARK(BM_OptimalBushyPlan)->Arg(8)->Arg(12);
+
+void BM_HashJoinExecution(benchmark::State& state) {
+  qdm::Rng rng(4);
+  auto workload = qdm::db::GenerateJoinWorkload(
+      qdm::db::QueryShape::kChain, 4,
+      qdm::db::WorkloadOptions{.min_rows = 100, .max_rows = 400}, &rng);
+  auto plan = qdm::db::OptimalLeftDeepPlan(workload.graph);
+  for (auto _ : state) {
+    auto result =
+        qdm::db::ExecuteJoinTree(plan.tree, workload.graph, workload.catalog);
+    benchmark::DoNotOptimize(result->num_rows());
+  }
+}
+BENCHMARK(BM_HashJoinExecution);
+
+}  // namespace
+
+BENCHMARK_MAIN();

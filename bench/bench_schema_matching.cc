@@ -1,0 +1,68 @@
+// E6 -- Table I row [28] (Fritsch & Scherzinger, VLDB'23): schema matching as
+// QUBO on quantum hardware. Regenerates the quality table: QUBO ground truth
+// (exact solver), annealing, and QAOA against the Hungarian optimum and the
+// greedy baseline, over instance sizes and noise levels.
+
+#include <cstdio>
+
+#include "qdm/algo/qaoa.h"
+#include "qdm/anneal/exact_solver.h"
+#include "qdm/anneal/simulated_annealing.h"
+#include "qdm/common/rng.h"
+#include "qdm/common/strings.h"
+#include "qdm/common/table_printer.h"
+#include "qdm/qopt/schema_matching.h"
+
+int main() {
+  qdm::Rng rng(2024);
+  qdm::TablePrinter table({"attrs", "noise", "hungarian", "qubo-exact",
+                           "anneal", "qaoa", "greedy"});
+
+  for (int n : {3, 4, 5, 6}) {
+    for (double noise : {0.05, 0.2}) {
+      const int kSeeds = 6;
+      double hungarian = 0, exact = 0, anneal = 0, qaoa_sim = 0, greedy = 0;
+      for (int seed = 0; seed < kSeeds; ++seed) {
+        auto problem = qdm::qopt::GenerateSchemaMatching(n, n, noise, &rng);
+        hungarian += qdm::qopt::HungarianMatching(problem).total_similarity;
+        greedy += qdm::qopt::GreedyMatching(problem).total_similarity;
+
+        qdm::anneal::Qubo qubo = qdm::qopt::SchemaMatchingToQubo(problem);
+        if (qubo.num_variables() <= 25) {
+          auto ground = qdm::anneal::ExactSolver::Solve(qubo);
+          exact += qdm::qopt::DecodeMatching(problem, ground.assignment)
+                       .total_similarity;
+        }
+
+        qdm::anneal::SimulatedAnnealer annealer(
+            qdm::anneal::AnnealSchedule{.num_sweeps = 600});
+        auto samples = annealer.SampleQubo(qubo, 20, &rng);
+        auto decoded =
+            qdm::qopt::DecodeMatching(problem, samples.best().assignment);
+        anneal += decoded.feasible ? decoded.total_similarity : 0.0;
+
+        // QAOA only on the smallest instances (n*n simulated qubits).
+        if (n <= 4) {
+          qdm::algo::QaoaSampler sampler(
+              qdm::algo::QaoaSampler::Options{.layers = 2, .restarts = 2});
+          auto qaoa_samples = sampler.SampleQubo(qubo, 30, &rng);
+          auto qaoa_decoded =
+              qdm::qopt::DecodeMatching(problem, qaoa_samples.best().assignment);
+          qaoa_sim += qaoa_decoded.feasible ? qaoa_decoded.total_similarity : 0.0;
+        }
+      }
+      table.AddRow(
+          {qdm::StrFormat("%dx%d", n, n), qdm::StrFormat("%.2f", noise),
+           qdm::StrFormat("%.3f", hungarian / kSeeds),
+           n * n <= 25 ? qdm::StrFormat("%.3f", exact / kSeeds) : "-",
+           qdm::StrFormat("%.3f", anneal / kSeeds),
+           n <= 4 ? qdm::StrFormat("%.3f", qaoa_sim / kSeeds) : "-",
+           qdm::StrFormat("%.3f", greedy / kSeeds)});
+    }
+  }
+  std::printf("E6: schema matching total similarity (higher is better)\n%s\n",
+              table.ToString().c_str());
+  std::printf("Shape check: qubo-exact == hungarian (the encoding is exact);\n"
+              "anneal tracks it closely; greedy trails on noisy instances.\n");
+  return 0;
+}

@@ -1,0 +1,32 @@
+#include "qdm/algo/grover_min_sampler.h"
+
+#include "qdm/algo/grover.h"
+#include "qdm/algo/qaoa.h"
+#include "qdm/common/check.h"
+
+namespace qdm {
+namespace algo {
+
+anneal::SampleSet GroverMinSampler::SampleQubo(const anneal::Qubo& qubo,
+                                               int num_reads, Rng* rng) {
+  QDM_CHECK_LE(qubo.num_variables(), options_.max_qubits)
+      << "Grover minimum finding limited to " << options_.max_qubits
+      << " qubits";
+  const std::vector<double> diag = BuildDiagonal(qubo);
+  const int n = qubo.num_variables();
+
+  anneal::SampleSet set;
+  last_oracle_queries_ = 0;
+  for (int read = 0; read < num_reads; ++read) {
+    MinimumResult min = DurrHoyerMinimum(
+        n, [&](uint64_t z) { return diag[z]; }, rng);
+    last_oracle_queries_ += min.oracle_queries;
+    anneal::Assignment x(n);
+    for (int i = 0; i < n; ++i) x[i] = (min.argmin >> i) & 1;
+    set.Add(anneal::Sample{std::move(x), min.minimum, 0.0});
+  }
+  return set;
+}
+
+}  // namespace algo
+}  // namespace qdm

@@ -1,0 +1,40 @@
+#ifndef QDM_ALGO_GROVER_MIN_SAMPLER_H_
+#define QDM_ALGO_GROVER_MIN_SAMPLER_H_
+
+#include "qdm/anneal/qubo.h"
+#include "qdm/anneal/sampler.h"
+
+namespace qdm {
+namespace algo {
+
+/// QUBO minimization via Durr-Hoyer quantum minimum finding (Grover's
+/// algorithm as the inner loop). This is the third gate-based arm of the
+/// paper's Figure 2 and the approach of Groppe & Groppe [IDEAS'21] for
+/// transaction schedule optimization: encode candidate solutions as basis
+/// states and Grover-search below a descending cost threshold.
+class GroverMinSampler : public anneal::Sampler {
+ public:
+  struct Options {
+    /// State-vector guard: 2^max_qubits energies are materialized.
+    int max_qubits = 20;
+  };
+
+  GroverMinSampler() : options_() {}
+  explicit GroverMinSampler(Options options) : options_(options) {}
+
+  anneal::SampleSet SampleQubo(const anneal::Qubo& qubo, int num_reads,
+                               Rng* rng) override;
+  std::string name() const override { return "grover_min"; }
+
+  /// Oracle queries consumed by the most recent SampleQubo call.
+  int64_t last_oracle_queries() const { return last_oracle_queries_; }
+
+ private:
+  Options options_;
+  int64_t last_oracle_queries_ = 0;
+};
+
+}  // namespace algo
+}  // namespace qdm
+
+#endif  // QDM_ALGO_GROVER_MIN_SAMPLER_H_

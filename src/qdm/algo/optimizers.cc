@@ -1,0 +1,175 @@
+#include "qdm/algo/optimizers.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "qdm/common/check.h"
+
+namespace qdm {
+namespace algo {
+
+OptimizationResult NelderMead::Minimize(const Objective& f,
+                                        std::vector<double> initial,
+                                        Rng* /*rng*/) {
+  const size_t n = initial.size();
+  QDM_CHECK_GT(n, 0u);
+  int evals = 0;
+  auto eval = [&](const std::vector<double>& x) {
+    ++evals;
+    return f(x);
+  };
+
+  // Build initial simplex.
+  std::vector<std::vector<double>> simplex{initial};
+  for (size_t i = 0; i < n; ++i) {
+    auto vertex = initial;
+    vertex[i] += options_.initial_step;
+    simplex.push_back(vertex);
+  }
+  std::vector<double> values;
+  values.reserve(simplex.size());
+  for (const auto& v : simplex) values.push_back(eval(v));
+
+  auto order = [&] {
+    std::vector<size_t> idx(simplex.size());
+    for (size_t i = 0; i < idx.size(); ++i) idx[i] = i;
+    std::sort(idx.begin(), idx.end(),
+              [&](size_t a, size_t b) { return values[a] < values[b]; });
+    std::vector<std::vector<double>> s2;
+    std::vector<double> v2;
+    for (size_t i : idx) {
+      s2.push_back(simplex[i]);
+      v2.push_back(values[i]);
+    }
+    simplex = std::move(s2);
+    values = std::move(v2);
+  };
+
+  while (evals < options_.max_evaluations) {
+    order();
+    if (values.back() - values.front() < options_.tolerance) break;
+
+    // Centroid of all but the worst.
+    std::vector<double> centroid(n, 0.0);
+    for (size_t i = 0; i + 1 < simplex.size(); ++i) {
+      for (size_t d = 0; d < n; ++d) centroid[d] += simplex[i][d];
+    }
+    for (size_t d = 0; d < n; ++d) centroid[d] /= n;
+
+    auto blend = [&](double t) {
+      std::vector<double> x(n);
+      for (size_t d = 0; d < n; ++d) {
+        x[d] = centroid[d] + t * (simplex.back()[d] - centroid[d]);
+      }
+      return x;
+    };
+
+    auto reflected = blend(-1.0);
+    double fr = eval(reflected);
+    if (fr < values.front()) {
+      auto expanded = blend(-2.0);
+      double fe = eval(expanded);
+      if (fe < fr) {
+        simplex.back() = expanded;
+        values.back() = fe;
+      } else {
+        simplex.back() = reflected;
+        values.back() = fr;
+      }
+    } else if (fr < values[values.size() - 2]) {
+      simplex.back() = reflected;
+      values.back() = fr;
+    } else {
+      auto contracted = blend(0.5);
+      double fc = eval(contracted);
+      if (fc < values.back()) {
+        simplex.back() = contracted;
+        values.back() = fc;
+      } else {
+        // Shrink toward the best vertex.
+        for (size_t i = 1; i < simplex.size(); ++i) {
+          for (size_t d = 0; d < n; ++d) {
+            simplex[i][d] = simplex[0][d] + 0.5 * (simplex[i][d] - simplex[0][d]);
+          }
+          values[i] = eval(simplex[i]);
+        }
+      }
+    }
+  }
+  order();
+  return OptimizationResult{simplex.front(), values.front(), evals};
+}
+
+OptimizationResult Spsa::Minimize(const Objective& f,
+                                  std::vector<double> initial, Rng* rng) {
+  const size_t n = initial.size();
+  QDM_CHECK_GT(n, 0u);
+  std::vector<double> theta = initial;
+  std::vector<double> best = theta;
+  int evals = 0;
+  double best_value = f(theta);
+  ++evals;
+
+  const double big_a = 0.1 * options_.iterations;
+  for (int k = 0; k < options_.iterations; ++k) {
+    const double ak = options_.a / std::pow(k + 1 + big_a, options_.alpha);
+    const double ck = options_.c / std::pow(k + 1, options_.gamma);
+    std::vector<double> delta(n);
+    for (size_t d = 0; d < n; ++d) delta[d] = rng->Bernoulli(0.5) ? 1.0 : -1.0;
+
+    std::vector<double> plus = theta, minus = theta;
+    for (size_t d = 0; d < n; ++d) {
+      plus[d] += ck * delta[d];
+      minus[d] -= ck * delta[d];
+    }
+    const double fp = f(plus);
+    const double fm = f(minus);
+    evals += 2;
+    for (size_t d = 0; d < n; ++d) {
+      theta[d] -= ak * (fp - fm) / (2 * ck * delta[d]);
+    }
+    const double ft = f(theta);
+    ++evals;
+    if (ft < best_value) {
+      best_value = ft;
+      best = theta;
+    }
+  }
+  return OptimizationResult{best, best_value, evals};
+}
+
+OptimizationResult CoordinateDescent::Minimize(const Objective& f,
+                                               std::vector<double> initial,
+                                               Rng* /*rng*/) {
+  const size_t n = initial.size();
+  QDM_CHECK_GT(n, 0u);
+  std::vector<double> theta = initial;
+  int evals = 0;
+  double value = f(theta);
+  ++evals;
+  double step = options_.initial_step;
+
+  for (int round = 0; round < options_.max_rounds && step > options_.min_step;
+       ++round) {
+    bool improved = false;
+    for (size_t d = 0; d < n; ++d) {
+      for (double direction : {+1.0, -1.0}) {
+        std::vector<double> candidate = theta;
+        candidate[d] += direction * step;
+        const double fc = f(candidate);
+        ++evals;
+        if (fc < value - 1e-15) {
+          theta = candidate;
+          value = fc;
+          improved = true;
+          break;
+        }
+      }
+    }
+    if (!improved) step *= options_.shrink;
+  }
+  return OptimizationResult{theta, value, evals};
+}
+
+}  // namespace algo
+}  // namespace qdm

@@ -1,0 +1,84 @@
+#ifndef QDM_ALGO_QAOA_H_
+#define QDM_ALGO_QAOA_H_
+
+#include <vector>
+
+#include "qdm/algo/optimizers.h"
+#include "qdm/anneal/qubo.h"
+#include "qdm/anneal/sampler.h"
+#include "qdm/circuit/circuit.h"
+#include "qdm/sim/statevector.h"
+
+namespace qdm {
+namespace algo {
+
+/// Full 2^n energy diagonal of a QUBO (E(z) for every basis state z, with
+/// variable i read from bit i). The cost Hamiltonian of QAOA/VQE/Grover-min.
+std::vector<double> BuildDiagonal(const anneal::Qubo& qubo);
+
+/// Quantum Approximate Optimization Algorithm over a QUBO cost Hamiltonian
+/// (Farhi et al.; the gate-based path of the paper's Figure 2, used for MQO
+/// in [21,22], join ordering in [23-26] and schema matching in [28]).
+///
+/// Parameters are (gamma_1..gamma_p, beta_1..beta_p). Layer l applies the
+/// phase separator exp(-i gamma_l C) followed by the transverse mixer
+/// RX(2 beta_l) on every qubit.
+class Qaoa {
+ public:
+  Qaoa(const anneal::Qubo& qubo, int layers);
+
+  int num_qubits() const { return num_qubits_; }
+  int layers() const { return layers_; }
+  int num_parameters() const { return 2 * layers_; }
+  const std::vector<double>& diagonal() const { return diagonal_; }
+
+  /// Fast path: evolves the state applying exp(-i gamma C) directly as
+  /// diagonal phases (exact, no Trotter error).
+  sim::Statevector StateForParameters(const std::vector<double>& params) const;
+
+  /// <C> for the given parameters (exact expectation, the "infinite shots"
+  /// limit).
+  double Expectation(const std::vector<double>& params) const;
+
+  /// Gate-level circuit: RZ / RZZ phase separator + RX mixer. Produces the
+  /// same state as StateForParameters up to global phase (tested).
+  circuit::Circuit BuildCircuit(const std::vector<double>& params) const;
+
+  /// Classical outer loop: minimizes Expectation over the 2p angles with
+  /// `restarts` random restarts.
+  OptimizationResult Optimize(Optimizer* optimizer, int restarts,
+                              Rng* rng) const;
+
+ private:
+  int num_qubits_;
+  int layers_;
+  anneal::IsingModel ising_;
+  std::vector<double> diagonal_;
+};
+
+/// QAOA packaged behind the annealing Sampler interface so benches can swap
+/// annealer and gate-based backends freely (Figure 2's two arms).
+class QaoaSampler : public anneal::Sampler {
+ public:
+  struct Options {
+    int layers = 2;
+    int restarts = 3;
+    /// Maximum problem size in qubits (state-vector guard).
+    int max_qubits = 20;
+  };
+
+  QaoaSampler() : options_() {}
+  explicit QaoaSampler(Options options) : options_(options) {}
+
+  anneal::SampleSet SampleQubo(const anneal::Qubo& qubo, int num_reads,
+                               Rng* rng) override;
+  std::string name() const override { return "qaoa"; }
+
+ private:
+  Options options_;
+};
+
+}  // namespace algo
+}  // namespace qdm
+
+#endif  // QDM_ALGO_QAOA_H_

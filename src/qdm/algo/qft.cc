@@ -1,0 +1,46 @@
+#include "qdm/algo/qft.h"
+
+#include <cmath>
+
+#include "qdm/common/check.h"
+
+namespace qdm {
+namespace algo {
+
+void AppendQft(circuit::Circuit* c, const std::vector<int>& qubits) {
+  QDM_CHECK(!qubits.empty());
+  const int n = static_cast<int>(qubits.size());
+  // Process from the most-significant qubit down.
+  for (int i = n - 1; i >= 0; --i) {
+    c->H(qubits[i]);
+    for (int j = i - 1; j >= 0; --j) {
+      // Controlled phase 2*pi / 2^(i - j + 1).
+      c->CPhase(qubits[j], qubits[i], M_PI / (uint64_t{1} << (i - j)));
+    }
+  }
+  // Bit reversal.
+  for (int i = 0; i < n / 2; ++i) c->Swap(qubits[i], qubits[n - 1 - i]);
+}
+
+void AppendInverseQft(circuit::Circuit* c, const std::vector<int>& qubits) {
+  QDM_CHECK(!qubits.empty());
+  const int n = static_cast<int>(qubits.size());
+  for (int i = 0; i < n / 2; ++i) c->Swap(qubits[i], qubits[n - 1 - i]);
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < i; ++j) {
+      c->CPhase(qubits[j], qubits[i], -M_PI / (uint64_t{1} << (i - j)));
+    }
+    c->H(qubits[i]);
+  }
+}
+
+circuit::Circuit QftCircuit(int num_qubits) {
+  circuit::Circuit c(num_qubits);
+  std::vector<int> qubits(num_qubits);
+  for (int q = 0; q < num_qubits; ++q) qubits[q] = q;
+  AppendQft(&c, qubits);
+  return c;
+}
+
+}  // namespace algo
+}  // namespace qdm

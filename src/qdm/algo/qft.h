@@ -1,0 +1,26 @@
+#ifndef QDM_ALGO_QFT_H_
+#define QDM_ALGO_QFT_H_
+
+#include <vector>
+
+#include "qdm/circuit/circuit.h"
+
+namespace qdm {
+namespace algo {
+
+/// Appends the quantum Fourier transform on the given qubits (qubits[0] is
+/// the least-significant position of the transformed integer). Includes the
+/// final bit-reversal swaps, so the result is the textbook QFT:
+///   |x> -> (1/sqrt(N)) sum_y exp(2 pi i x y / N) |y>.
+void AppendQft(circuit::Circuit* c, const std::vector<int>& qubits);
+
+/// Appends the inverse QFT (exact adjoint of AppendQft).
+void AppendInverseQft(circuit::Circuit* c, const std::vector<int>& qubits);
+
+/// Standalone n-qubit QFT circuit on qubits [0, n).
+circuit::Circuit QftCircuit(int num_qubits);
+
+}  // namespace algo
+}  // namespace qdm
+
+#endif  // QDM_ALGO_QFT_H_

@@ -1,0 +1,47 @@
+#include "qdm/algo/qpe.h"
+
+#include <cmath>
+
+#include "qdm/algo/qft.h"
+#include "qdm/common/check.h"
+#include "qdm/sim/statevector.h"
+
+namespace qdm {
+namespace algo {
+
+circuit::Circuit QpeCircuit(double phase, int precision_qubits) {
+  QDM_CHECK_GT(precision_qubits, 0);
+  const int t = precision_qubits;
+  circuit::Circuit c(t + 1);
+
+  // Prepare the eigenstate |1> on the work qubit.
+  c.X(t);
+  // Superpose the counting register.
+  for (int q = 0; q < t; ++q) c.H(q);
+  // Controlled-U^{2^q}: counting qubit q kicks back phase 2 pi * phase * 2^q.
+  for (int q = 0; q < t; ++q) {
+    c.CPhase(q, t, 2 * M_PI * phase * static_cast<double>(uint64_t{1} << q));
+  }
+  // Decode with the inverse QFT on the counting register.
+  std::vector<int> counting(t);
+  for (int q = 0; q < t; ++q) counting[q] = q;
+  AppendInverseQft(&c, counting);
+  return c;
+}
+
+QpeResult EstimatePhase(double phase, int precision_qubits, Rng* rng) {
+  circuit::Circuit c = QpeCircuit(phase, precision_qubits);
+  sim::Statevector sv = sim::RunCircuit(c);
+  const uint64_t outcome = sv.SampleBasisState(rng);
+  const uint64_t mask = (uint64_t{1} << precision_qubits) - 1;
+
+  QpeResult result;
+  result.raw = outcome & mask;
+  result.precision_qubits = precision_qubits;
+  result.estimate = static_cast<double>(result.raw) /
+                    static_cast<double>(uint64_t{1} << precision_qubits);
+  return result;
+}
+
+}  // namespace algo
+}  // namespace qdm

@@ -1,0 +1,33 @@
+#ifndef QDM_ALGO_QPE_H_
+#define QDM_ALGO_QPE_H_
+
+#include <cstdint>
+
+#include "qdm/circuit/circuit.h"
+#include "qdm/common/rng.h"
+
+namespace qdm {
+namespace algo {
+
+/// Quantum phase estimation result.
+struct QpeResult {
+  /// Measured t-bit integer m; the estimate is m / 2^t.
+  uint64_t raw = 0;
+  double estimate = 0.0;
+  int precision_qubits = 0;
+};
+
+/// Builds the canonical QPE circuit estimating the eigenphase `phase` of the
+/// unitary U = diag(1, e^{2 pi i phase}) acting on an eigenstate |1>.
+/// Layout: qubits [0, t) = counting register, qubit t = eigenstate register.
+circuit::Circuit QpeCircuit(double phase, int precision_qubits);
+
+/// Runs QPE and measures the counting register once.
+/// |estimate - phase| <= 2^-t holds with probability >= 8/pi^2 ~ 0.81, and
+/// the estimate is exact whenever phase is a t-bit dyadic rational.
+QpeResult EstimatePhase(double phase, int precision_qubits, Rng* rng);
+
+}  // namespace algo
+}  // namespace qdm
+
+#endif  // QDM_ALGO_QPE_H_

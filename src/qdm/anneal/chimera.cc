@@ -1,0 +1,81 @@
+#include "qdm/anneal/chimera.h"
+
+#include "qdm/common/check.h"
+
+namespace qdm {
+namespace anneal {
+
+ChimeraGraph::ChimeraGraph(int rows, int cols, int shore)
+    : rows_(rows), cols_(cols), shore_(shore) {
+  QDM_CHECK_GT(rows, 0);
+  QDM_CHECK_GT(cols, 0);
+  QDM_CHECK_GT(shore, 0);
+}
+
+int ChimeraGraph::VerticalQubit(int r, int c, int k) const {
+  QDM_CHECK(r >= 0 && r < rows_ && c >= 0 && c < cols_ && k >= 0 && k < shore_);
+  return ((r * cols_ + c) * 2 + 0) * shore_ + k;
+}
+
+int ChimeraGraph::HorizontalQubit(int r, int c, int k) const {
+  QDM_CHECK(r >= 0 && r < rows_ && c >= 0 && c < cols_ && k >= 0 && k < shore_);
+  return ((r * cols_ + c) * 2 + 1) * shore_ + k;
+}
+
+ChimeraGraph::QubitCoord ChimeraGraph::Decode(int id) const {
+  QDM_CHECK(id >= 0 && id < num_qubits());
+  const int k = id % shore_;
+  const int rest = id / shore_;
+  const bool horizontal = rest % 2;
+  const int cell = rest / 2;
+  return QubitCoord{cell / cols_, cell % cols_, k, !horizontal};
+}
+
+bool ChimeraGraph::HasEdge(int a, int b) const {
+  if (a == b) return false;
+  const QubitCoord qa = Decode(a);
+  const QubitCoord qb = Decode(b);
+  // In-cell K_{L,L}: same cell, opposite shores.
+  if (qa.r == qb.r && qa.c == qb.c && qa.vertical != qb.vertical) return true;
+  // Vertical inter-cell: same column, same shore offset, adjacent rows.
+  if (qa.vertical && qb.vertical && qa.c == qb.c && qa.k == qb.k &&
+      (qa.r - qb.r == 1 || qb.r - qa.r == 1)) {
+    return true;
+  }
+  // Horizontal inter-cell: same row, same shore offset, adjacent columns.
+  if (!qa.vertical && !qb.vertical && qa.r == qb.r && qa.k == qb.k &&
+      (qa.c - qb.c == 1 || qb.c - qa.c == 1)) {
+    return true;
+  }
+  return false;
+}
+
+std::vector<std::pair<int, int>> ChimeraGraph::Edges() const {
+  std::vector<std::pair<int, int>> edges;
+  for (int r = 0; r < rows_; ++r) {
+    for (int c = 0; c < cols_; ++c) {
+      for (int kv = 0; kv < shore_; ++kv) {
+        const int v = VerticalQubit(r, c, kv);
+        // In-cell bipartite edges.
+        for (int kh = 0; kh < shore_; ++kh) {
+          edges.emplace_back(std::min(v, HorizontalQubit(r, c, kh)),
+                             std::max(v, HorizontalQubit(r, c, kh)));
+        }
+        // Vertical neighbor below.
+        if (r + 1 < rows_) {
+          edges.emplace_back(v, VerticalQubit(r + 1, c, kv));
+        }
+      }
+      for (int kh = 0; kh < shore_; ++kh) {
+        if (c + 1 < cols_) {
+          edges.emplace_back(HorizontalQubit(r, c, kh),
+                             HorizontalQubit(r, c + 1, kh));
+        }
+      }
+    }
+  }
+  return edges;
+}
+
+}  // namespace anneal
+}  // namespace qdm

@@ -1,0 +1,53 @@
+#ifndef QDM_ANNEAL_CHIMERA_H_
+#define QDM_ANNEAL_CHIMERA_H_
+
+#include <cstdint>
+#include <set>
+#include <utility>
+#include <vector>
+
+namespace qdm {
+namespace anneal {
+
+/// Chimera hardware topology C(M, N, L): an M x N grid of unit cells, each a
+/// complete bipartite K_{L,L} between L "vertical" and L "horizontal" qubits.
+/// Vertical qubits couple to the same shore index in the cells above/below;
+/// horizontal qubits couple left/right. This is the working graph of the
+/// D-Wave 2X-class annealers used by Trummer & Koch [VLDB'16]; the paper's
+/// "physical level" mapping (Sec III-B) targets exactly this structure.
+class ChimeraGraph {
+ public:
+  ChimeraGraph(int rows, int cols, int shore);
+
+  int rows() const { return rows_; }
+  int cols() const { return cols_; }
+  int shore() const { return shore_; }
+  int num_qubits() const { return rows_ * cols_ * 2 * shore_; }
+
+  /// Linear id of the vertical qubit with shore offset `k` in cell (r, c).
+  int VerticalQubit(int r, int c, int k) const;
+  /// Linear id of the horizontal qubit with shore offset `k` in cell (r, c).
+  int HorizontalQubit(int r, int c, int k) const;
+
+  /// True if physical qubits a and b are coupled in the hardware graph.
+  bool HasEdge(int a, int b) const;
+
+  /// All hardware couplers as (a, b) pairs with a < b.
+  std::vector<std::pair<int, int>> Edges() const;
+
+ private:
+  struct QubitCoord {
+    int r, c, k;
+    bool vertical;
+  };
+  QubitCoord Decode(int id) const;
+
+  int rows_;
+  int cols_;
+  int shore_;
+};
+
+}  // namespace anneal
+}  // namespace qdm
+
+#endif  // QDM_ANNEAL_CHIMERA_H_

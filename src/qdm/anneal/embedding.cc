@@ -1,0 +1,160 @@
+#include "qdm/anneal/embedding.h"
+
+#include <algorithm>
+
+#include "qdm/common/check.h"
+#include "qdm/common/strings.h"
+
+namespace qdm {
+namespace anneal {
+
+int Embedding::TotalPhysicalQubits() const {
+  int total = 0;
+  for (const auto& chain : chains) total += static_cast<int>(chain.size());
+  return total;
+}
+
+int Embedding::MaxChainLength() const {
+  int max_len = 0;
+  for (const auto& chain : chains) {
+    max_len = std::max(max_len, static_cast<int>(chain.size()));
+  }
+  return max_len;
+}
+
+Result<Embedding> CliqueEmbedding(int num_logical, const ChimeraGraph& graph) {
+  const int side = std::min(graph.rows(), graph.cols());
+  const int capacity = graph.shore() * side;
+  if (num_logical > capacity) {
+    return Status::ResourceExhausted(StrFormat(
+        "clique embedding of K_%d needs shore*side >= %d but hardware offers %d",
+        num_logical, num_logical, capacity));
+  }
+  Embedding embedding;
+  embedding.chains.resize(num_logical);
+  for (int i = 0; i < num_logical; ++i) {
+    const int block = i / graph.shore();
+    const int offset = i % graph.shore();
+    // Vertical run: column `block`, all rows up to the used square.
+    const int used = (num_logical + graph.shore() - 1) / graph.shore();
+    for (int r = 0; r < used; ++r) {
+      embedding.chains[i].push_back(graph.VerticalQubit(r, block, offset));
+    }
+    // Horizontal run: row `block`, all columns of the used square.
+    for (int c = 0; c < used; ++c) {
+      embedding.chains[i].push_back(graph.HorizontalQubit(block, c, offset));
+    }
+  }
+  return embedding;
+}
+
+namespace {
+
+/// Finds one hardware coupler connecting chain_a to chain_b, or (-1,-1).
+std::pair<int, int> FindCoupler(const std::vector<int>& chain_a,
+                                const std::vector<int>& chain_b,
+                                const ChimeraGraph& graph) {
+  for (int a : chain_a) {
+    for (int b : chain_b) {
+      if (graph.HasEdge(a, b)) return {a, b};
+    }
+  }
+  return {-1, -1};
+}
+
+}  // namespace
+
+Result<EmbeddedQubo> EmbedQubo(const Qubo& logical, const Embedding& embedding,
+                               const ChimeraGraph& graph,
+                               double chain_strength) {
+  if (embedding.num_logical() < logical.num_variables()) {
+    return Status::InvalidArgument("embedding has fewer chains than variables");
+  }
+  QDM_CHECK_GT(chain_strength, 0.0);
+
+  // Work in Ising space (the natural space for chain couplings), then convert.
+  IsingModel logical_ising = QuboToIsing(logical);
+  IsingModel physical;
+  physical.num_spins = graph.num_qubits();
+  physical.h.assign(physical.num_spins, 0.0);
+  physical.offset = logical_ising.offset;
+
+  // Spread linear biases uniformly over chains.
+  for (int i = 0; i < logical.num_variables(); ++i) {
+    const auto& chain = embedding.chains[i];
+    QDM_CHECK(!chain.empty());
+    for (int q : chain) physical.h[q] += logical_ising.h[i] / chain.size();
+  }
+
+  // Place each logical coupling on one hardware coupler between the chains.
+  for (const auto& [key, w] : logical_ising.j) {
+    if (w == 0.0) continue;
+    auto [a, b] = FindCoupler(embedding.chains[key.first],
+                              embedding.chains[key.second], graph);
+    if (a < 0) {
+      return Status::FailedPrecondition(
+          StrFormat("no hardware coupler between chains of x%d and x%d",
+                    key.first, key.second));
+    }
+    physical.j[{std::min(a, b), std::max(a, b)}] += w;
+  }
+
+  // Ferromagnetic chain bonds: -chain_strength * s_a s_b on every intra-chain
+  // hardware edge (energy minimized when the chain is aligned). Compensate the
+  // offset so a fully-aligned physical ground state reports the logical energy.
+  int num_chain_edges = 0;
+  for (int i = 0; i < logical.num_variables(); ++i) {
+    const auto& chain = embedding.chains[i];
+    for (size_t a = 0; a < chain.size(); ++a) {
+      for (size_t b = a + 1; b < chain.size(); ++b) {
+        if (graph.HasEdge(chain[a], chain[b])) {
+          physical.j[{std::min(chain[a], chain[b]),
+                      std::max(chain[a], chain[b])}] -= chain_strength;
+          ++num_chain_edges;
+        }
+      }
+    }
+  }
+  physical.offset += chain_strength * num_chain_edges;
+
+  EmbeddedQubo out{IsingToQubo(physical), embedding, chain_strength};
+  return out;
+}
+
+Sample Unembed(const Qubo& logical, const EmbeddedQubo& embedded,
+               const Sample& physical_sample) {
+  const int n = logical.num_variables();
+  Assignment x(n, 0);
+  int broken = 0;
+  for (int i = 0; i < n; ++i) {
+    const auto& chain = embedded.embedding.chains[i];
+    int ones = 0;
+    for (int q : chain) ones += physical_sample.assignment[q];
+    const int len = static_cast<int>(chain.size());
+    x[i] = (2 * ones > len) ? 1 : 0;
+    if (ones != 0 && ones != len) ++broken;
+  }
+  Sample out;
+  out.assignment = std::move(x);
+  out.energy = logical.Energy(out.assignment);
+  out.chain_break_fraction = n > 0 ? static_cast<double>(broken) / n : 0.0;
+  return out;
+}
+
+SampleSet EmbeddedSampler::SampleQubo(const Qubo& qubo, int num_reads, Rng* rng) {
+  Result<Embedding> embedding = CliqueEmbedding(qubo.num_variables(), graph_);
+  QDM_CHECK(embedding.ok()) << embedding.status().ToString();
+  Result<EmbeddedQubo> embedded =
+      EmbedQubo(qubo, *embedding, graph_, chain_strength_);
+  QDM_CHECK(embedded.ok()) << embedded.status().ToString();
+
+  SampleSet physical = base_->SampleQubo(embedded->physical, num_reads, rng);
+  SampleSet logical;
+  for (const anneal::Sample& s : physical.samples()) {
+    logical.Add(Unembed(qubo, *embedded, s));
+  }
+  return logical;
+}
+
+}  // namespace anneal
+}  // namespace qdm

@@ -1,0 +1,79 @@
+#ifndef QDM_ANNEAL_EMBEDDING_H_
+#define QDM_ANNEAL_EMBEDDING_H_
+
+#include <string>
+#include <vector>
+
+#include "qdm/anneal/chimera.h"
+#include "qdm/anneal/sampler.h"
+#include "qdm/common/status.h"
+
+namespace qdm {
+namespace anneal {
+
+/// A minor embedding: logical variable i is represented by the chain of
+/// physical qubits `chains[i]` (a connected subgraph of the hardware graph).
+struct Embedding {
+  std::vector<std::vector<int>> chains;
+
+  int num_logical() const { return static_cast<int>(chains.size()); }
+  int TotalPhysicalQubits() const;
+  int MaxChainLength() const;
+};
+
+/// Deterministic clique (K_n) embedding into Chimera, after Choi's TRIAD
+/// construction: variable i = shore*block + offset occupies the full column
+/// of vertical qubits at (.., block, offset) plus the full row of horizontal
+/// qubits at (block, .., offset); the two paths meet (and are chained
+/// together) in the diagonal cell. Supports any logical interaction graph
+/// because every pair of chains is adjacent. Requires n <= shore * min(M, N).
+Result<Embedding> CliqueEmbedding(int num_logical, const ChimeraGraph& graph);
+
+/// Result of pushing a logical QUBO through an embedding: a physical QUBO
+/// whose quadratic terms all lie on hardware couplers.
+struct EmbeddedQubo {
+  Qubo physical;
+  Embedding embedding;
+  double chain_strength = 0.0;
+};
+
+/// Maps `logical` onto hardware. Logical linear biases are spread uniformly
+/// over the chain; each logical coupling is placed on one hardware coupler
+/// connecting the two chains; chain integrity is enforced by a ferromagnetic
+/// coupling of weight `chain_strength` on every intra-chain edge (in Ising
+/// space; the returned model is the equivalent QUBO).
+/// Fails if some logical coupling has no hardware edge between its chains.
+Result<EmbeddedQubo> EmbedQubo(const Qubo& logical, const Embedding& embedding,
+                               const ChimeraGraph& graph,
+                               double chain_strength);
+
+/// Collapses a physical sample back to logical variables by majority vote
+/// within each chain; reports the fraction of broken (non-unanimous) chains
+/// in Sample::chain_break_fraction. The returned energy is the LOGICAL
+/// energy of the unembedded assignment.
+Sample Unembed(const Qubo& logical, const EmbeddedQubo& embedded,
+               const Sample& physical_sample);
+
+/// Sampler decorator implementing the full logical->physical->logical loop of
+/// Sec III-B: embed, sample on the (simulated) hardware topology, unembed.
+class EmbeddedSampler : public Sampler {
+ public:
+  /// Does not take ownership of `base`; `base` must outlive this.
+  EmbeddedSampler(Sampler* base, ChimeraGraph graph, double chain_strength)
+      : base_(base), graph_(graph), chain_strength_(chain_strength) {}
+
+  SampleSet SampleQubo(const Qubo& qubo, int num_reads, Rng* rng) override;
+  std::string name() const override {
+    return "embedded(" + base_->name() + ")";
+  }
+
+ private:
+  Sampler* base_;
+  ChimeraGraph graph_;
+  double chain_strength_;
+};
+
+}  // namespace anneal
+}  // namespace qdm
+
+#endif  // QDM_ANNEAL_EMBEDDING_H_

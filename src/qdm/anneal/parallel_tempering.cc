@@ -1,0 +1,75 @@
+#include "qdm/anneal/parallel_tempering.h"
+
+#include <cmath>
+
+#include "qdm/anneal/simulated_annealing.h"
+#include "qdm/common/check.h"
+
+namespace qdm {
+namespace anneal {
+
+SampleSet ParallelTempering::SampleQubo(const Qubo& qubo, int num_reads, Rng* rng) {
+  QDM_CHECK_GT(num_reads, 0);
+  QDM_CHECK_GE(options_.num_replicas, 2);
+  const QuboAdjacency adj(qubo);
+  const int n = adj.num_variables();
+
+  double beta_min = options_.beta_min;
+  double beta_max = options_.beta_max;
+  if (beta_max <= 0.0) {
+    const double hottest = std::max(adj.max_abs_coefficient(), 1e-9);
+    const double coldest = std::max(adj.min_abs_coefficient(), 1e-9);
+    beta_min = 0.1 / hottest;
+    beta_max = 10.0 / coldest;
+  }
+  const int r = options_.num_replicas;
+  std::vector<double> betas(r);
+  for (int k = 0; k < r; ++k) {
+    betas[k] = beta_min * std::pow(beta_max / beta_min,
+                                   static_cast<double>(k) / (r - 1));
+  }
+
+  SampleSet result;
+  for (int read = 0; read < num_reads; ++read) {
+    std::vector<Assignment> replicas(r, Assignment(n));
+    std::vector<double> energies(r);
+    for (int k = 0; k < r; ++k) {
+      for (int i = 0; i < n; ++i) replicas[k][i] = rng->Bernoulli(0.5) ? 1 : 0;
+      energies[k] = adj.Energy(replicas[k]);
+    }
+
+    Assignment best = replicas[0];
+    double best_energy = energies[0];
+
+    for (int sweep = 0; sweep < options_.num_sweeps; ++sweep) {
+      for (int k = 0; k < r; ++k) {
+        for (int i = 0; i < n; ++i) {
+          const double delta = adj.FlipDelta(replicas[k], i);
+          if (delta <= 0.0 || rng->Uniform() < std::exp(-betas[k] * delta)) {
+            replicas[k][i] ^= 1;
+            energies[k] += delta;
+          }
+        }
+        if (energies[k] < best_energy) {
+          best_energy = energies[k];
+          best = replicas[k];
+        }
+      }
+      if (options_.swap_interval > 0 && sweep % options_.swap_interval == 0) {
+        for (int k = 0; k + 1 < r; ++k) {
+          const double arg = (betas[k + 1] - betas[k]) *
+                             (energies[k + 1] - energies[k]);
+          if (arg >= 0.0 || rng->Uniform() < std::exp(arg)) {
+            std::swap(replicas[k], replicas[k + 1]);
+            std::swap(energies[k], energies[k + 1]);
+          }
+        }
+      }
+    }
+    result.Add(Sample{best, best_energy, 0.0});
+  }
+  return result;
+}
+
+}  // namespace anneal
+}  // namespace qdm

@@ -1,0 +1,169 @@
+#include "qdm/anneal/qubo.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "qdm/common/check.h"
+#include "qdm/common/strings.h"
+
+namespace qdm {
+namespace anneal {
+
+Qubo::Qubo(int num_variables) : num_variables_(num_variables) {
+  QDM_CHECK_GT(num_variables, 0);
+  linear_.assign(num_variables, 0.0);
+}
+
+void Qubo::AddLinear(int i, double weight) {
+  QDM_CHECK(i >= 0 && i < num_variables_);
+  linear_[i] += weight;
+}
+
+void Qubo::AddQuadratic(int i, int j, double weight) {
+  QDM_CHECK(i >= 0 && i < num_variables_);
+  QDM_CHECK(j >= 0 && j < num_variables_);
+  QDM_CHECK_NE(i, j) << "use AddLinear for diagonal terms (x^2 == x)";
+  if (i > j) std::swap(i, j);
+  quadratic_[{i, j}] += weight;
+}
+
+double Qubo::linear(int i) const {
+  QDM_CHECK(i >= 0 && i < num_variables_);
+  return linear_[i];
+}
+
+double Qubo::quadratic(int i, int j) const {
+  if (i > j) std::swap(i, j);
+  auto it = quadratic_.find({i, j});
+  return it == quadratic_.end() ? 0.0 : it->second;
+}
+
+double Qubo::Energy(const Assignment& x) const {
+  QDM_CHECK_EQ(x.size(), static_cast<size_t>(num_variables_));
+  double e = offset_;
+  for (int i = 0; i < num_variables_; ++i) {
+    if (x[i]) e += linear_[i];
+  }
+  for (const auto& [key, w] : quadratic_) {
+    if (x[key.first] && x[key.second]) e += w;
+  }
+  return e;
+}
+
+double Qubo::FlipDelta(const Assignment& x, int i) const {
+  QDM_CHECK(i >= 0 && i < num_variables_);
+  // Flipping x_i changes energy by sign * (a_i + sum_j b_ij x_j).
+  const double sign = x[i] ? -1.0 : 1.0;
+  double local_field = linear_[i];
+  // Iterate only edges touching i.
+  auto lo = quadratic_.lower_bound({i, 0});
+  for (auto it = lo; it != quadratic_.end() && it->first.first == i; ++it) {
+    if (x[it->first.second]) local_field += it->second;
+  }
+  for (const auto& [key, w] : quadratic_) {
+    if (key.second == i && x[key.first]) local_field += w;
+  }
+  return sign * local_field;
+}
+
+void Qubo::AddExactlyOnePenalty(const std::vector<int>& vars, double penalty) {
+  // (sum x - 1)^2 = 1 - sum x + 2 sum_{u<v} x_u x_v   (using x^2 == x)
+  AddOffset(penalty);
+  for (int v : vars) AddLinear(v, -penalty);
+  for (size_t a = 0; a < vars.size(); ++a) {
+    for (size_t b = a + 1; b < vars.size(); ++b) {
+      AddQuadratic(vars[a], vars[b], 2 * penalty);
+    }
+  }
+}
+
+void Qubo::AddAtMostOnePenalty(const std::vector<int>& vars, double penalty) {
+  for (size_t a = 0; a < vars.size(); ++a) {
+    for (size_t b = a + 1; b < vars.size(); ++b) {
+      AddQuadratic(vars[a], vars[b], penalty);
+    }
+  }
+}
+
+double Qubo::MaxAbsCoefficient() const {
+  double m = 0.0;
+  for (double a : linear_) m = std::max(m, std::abs(a));
+  for (const auto& [key, w] : quadratic_) m = std::max(m, std::abs(w));
+  return m;
+}
+
+std::vector<int> Qubo::Neighbors(int i) const {
+  std::vector<int> out;
+  for (const auto& [key, w] : quadratic_) {
+    if (w == 0.0) continue;
+    if (key.first == i) out.push_back(key.second);
+    if (key.second == i) out.push_back(key.first);
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+std::string Qubo::ToString() const {
+  std::string out = StrFormat("Qubo(n=%d, offset=%.4g)\n", num_variables_, offset_);
+  for (int i = 0; i < num_variables_; ++i) {
+    if (linear_[i] != 0.0) out += StrFormat("  %.4g x%d\n", linear_[i], i);
+  }
+  for (const auto& [key, w] : quadratic_) {
+    if (w != 0.0) out += StrFormat("  %.4g x%d x%d\n", w, key.first, key.second);
+  }
+  return out;
+}
+
+double IsingModel::Energy(const std::vector<int>& spins) const {
+  QDM_CHECK_EQ(spins.size(), static_cast<size_t>(num_spins));
+  double e = offset;
+  for (int i = 0; i < num_spins; ++i) {
+    QDM_CHECK(spins[i] == 1 || spins[i] == -1);
+    e += h[i] * spins[i];
+  }
+  for (const auto& [key, w] : j) {
+    e += w * spins[key.first] * spins[key.second];
+  }
+  return e;
+}
+
+IsingModel QuboToIsing(const Qubo& qubo) {
+  // x = (1+s)/2:  a x = a/2 + a/2 s;  b xy = b/4 (1 + s_i + s_j + s_i s_j).
+  IsingModel ising;
+  ising.num_spins = qubo.num_variables();
+  ising.h.assign(ising.num_spins, 0.0);
+  ising.offset = qubo.offset();
+  for (int i = 0; i < ising.num_spins; ++i) {
+    const double a = qubo.linear(i);
+    ising.offset += a / 2;
+    ising.h[i] += a / 2;
+  }
+  for (const auto& [key, b] : qubo.quadratic_terms()) {
+    ising.offset += b / 4;
+    ising.h[key.first] += b / 4;
+    ising.h[key.second] += b / 4;
+    ising.j[key] += b / 4;
+  }
+  return ising;
+}
+
+Qubo IsingToQubo(const IsingModel& ising) {
+  // s = 2x - 1:  h s = -h + 2h x;  J s_i s_j = J (1 - 2x_i - 2x_j + 4 x_i x_j).
+  Qubo qubo(ising.num_spins);
+  qubo.AddOffset(ising.offset);
+  for (int i = 0; i < ising.num_spins; ++i) {
+    qubo.AddOffset(-ising.h[i]);
+    qubo.AddLinear(i, 2 * ising.h[i]);
+  }
+  for (const auto& [key, w] : ising.j) {
+    qubo.AddOffset(w);
+    qubo.AddLinear(key.first, -2 * w);
+    qubo.AddLinear(key.second, -2 * w);
+    qubo.AddQuadratic(key.first, key.second, 4 * w);
+  }
+  return qubo;
+}
+
+}  // namespace anneal
+}  // namespace qdm

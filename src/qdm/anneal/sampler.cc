@@ -1,0 +1,32 @@
+#include "qdm/anneal/sampler.h"
+
+#include <algorithm>
+
+#include "qdm/common/check.h"
+
+namespace qdm {
+namespace anneal {
+
+void SampleSet::Add(Sample sample) {
+  auto it = std::lower_bound(
+      samples_.begin(), samples_.end(), sample,
+      [](const Sample& a, const Sample& b) { return a.energy < b.energy; });
+  samples_.insert(it, std::move(sample));
+}
+
+const Sample& SampleSet::best() const {
+  QDM_CHECK(!samples_.empty()) << "best() on empty SampleSet";
+  return samples_.front();
+}
+
+double SampleSet::SuccessRate(double target_energy, double tol) const {
+  if (samples_.empty()) return 0.0;
+  size_t hits = 0;
+  for (const Sample& s : samples_) {
+    if (s.energy <= target_energy + tol) ++hits;
+  }
+  return static_cast<double>(hits) / samples_.size();
+}
+
+}  // namespace anneal
+}  // namespace qdm

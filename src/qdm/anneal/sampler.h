@@ -1,0 +1,63 @@
+#ifndef QDM_ANNEAL_SAMPLER_H_
+#define QDM_ANNEAL_SAMPLER_H_
+
+#include <string>
+#include <vector>
+
+#include "qdm/anneal/qubo.h"
+#include "qdm/common/rng.h"
+
+namespace qdm {
+namespace anneal {
+
+/// One sampled solution with its energy.
+struct Sample {
+  Assignment assignment;
+  double energy = 0.0;
+  /// Fraction of embedding chains that disagreed internally (0 when the
+  /// sample did not come through an embedding).
+  double chain_break_fraction = 0.0;
+};
+
+/// A set of samples, kept sorted by ascending energy.
+class SampleSet {
+ public:
+  SampleSet() = default;
+
+  void Add(Sample sample);
+
+  bool empty() const { return samples_.empty(); }
+  size_t size() const { return samples_.size(); }
+  const std::vector<Sample>& samples() const { return samples_; }
+
+  /// Lowest-energy sample.
+  const Sample& best() const;
+
+  /// Fraction of samples whose energy is within `tol` of the best.
+  double SuccessRate(double target_energy, double tol = 1e-9) const;
+
+ private:
+  std::vector<Sample> samples_;
+};
+
+/// Abstract QUBO sampler — the "quantum computer" interface of the annealing
+/// path in Figure 2. Implementations: SimulatedAnnealer (stand-in for the
+/// D-Wave physical anneal), ParallelTempering, TabuSearch (classical
+/// baselines), ExactSolver (ground truth), EmbeddedSampler (adds the
+/// logical->physical Chimera mapping), and algo::QaoaSampler /
+/// algo::GroverSampler on the gate-based side.
+class Sampler {
+ public:
+  virtual ~Sampler() = default;
+
+  /// Draws `num_reads` solutions for `qubo`.
+  virtual SampleSet SampleQubo(const Qubo& qubo, int num_reads, Rng* rng) = 0;
+
+  /// Human-readable name for report tables.
+  virtual std::string name() const = 0;
+};
+
+}  // namespace anneal
+}  // namespace qdm
+
+#endif  // QDM_ANNEAL_SAMPLER_H_

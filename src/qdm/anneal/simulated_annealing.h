@@ -1,0 +1,72 @@
+#ifndef QDM_ANNEAL_SIMULATED_ANNEALING_H_
+#define QDM_ANNEAL_SIMULATED_ANNEALING_H_
+
+#include <string>
+
+#include "qdm/anneal/sampler.h"
+
+namespace qdm {
+namespace anneal {
+
+/// Configuration for the Metropolis anneal.
+struct AnnealSchedule {
+  /// Number of full sweeps (each sweep proposes one flip per variable).
+  int num_sweeps = 200;
+  /// Inverse temperature at the start / end of the geometric schedule.
+  /// When beta_max <= 0 both endpoints are auto-scaled from the problem's
+  /// coefficient range (hot start that accepts ~most moves, cold end that
+  /// freezes single-coefficient excitations).
+  double beta_min = 0.0;
+  double beta_max = 0.0;
+};
+
+/// Metropolis simulated annealing over QUBO variables. This is the toolkit's
+/// stand-in for the D-Wave quantum annealer: the *interface* (QUBO in,
+/// low-energy samples out, quality improving with anneal length / num_reads)
+/// matches the physical device; the dynamics are classical Metropolis.
+class SimulatedAnnealer : public Sampler {
+ public:
+  explicit SimulatedAnnealer(AnnealSchedule schedule = AnnealSchedule{})
+      : schedule_(schedule) {}
+
+  SampleSet SampleQubo(const Qubo& qubo, int num_reads, Rng* rng) override;
+  std::string name() const override { return "simulated_annealing"; }
+
+  const AnnealSchedule& schedule() const { return schedule_; }
+
+ private:
+  AnnealSchedule schedule_;
+};
+
+/// Internal workhorse shared by the annealing-family samplers: a flat
+/// adjacency representation of a Qubo with O(deg) flip deltas.
+class QuboAdjacency {
+ public:
+  explicit QuboAdjacency(const Qubo& qubo);
+
+  int num_variables() const { return num_variables_; }
+  double Energy(const Assignment& x) const;
+  /// Energy delta of flipping x[i].
+  double FlipDelta(const Assignment& x, int i) const;
+
+  double max_abs_coefficient() const { return max_abs_coefficient_; }
+  /// Smallest nonzero |coefficient|.
+  double min_abs_coefficient() const { return min_abs_coefficient_; }
+
+ private:
+  struct Edge {
+    int neighbor;
+    double weight;
+  };
+  int num_variables_;
+  double offset_;
+  double max_abs_coefficient_ = 0.0;
+  double min_abs_coefficient_ = 0.0;
+  std::vector<double> linear_;
+  std::vector<std::vector<Edge>> adjacency_;
+};
+
+}  // namespace anneal
+}  // namespace qdm
+
+#endif  // QDM_ANNEAL_SIMULATED_ANNEALING_H_

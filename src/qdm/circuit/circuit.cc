@@ -1,0 +1,104 @@
+#include "qdm/circuit/circuit.h"
+
+#include <algorithm>
+
+#include "qdm/common/check.h"
+#include "qdm/common/strings.h"
+
+namespace qdm {
+namespace circuit {
+
+Circuit::Circuit(int num_qubits) : num_qubits_(num_qubits) {
+  QDM_CHECK_GT(num_qubits, 0);
+}
+
+Circuit& Circuit::Append(GateKind kind, std::vector<int> qubits,
+                         std::vector<double> params) {
+  QDM_CHECK_EQ(static_cast<size_t>(GateArity(kind)), qubits.size())
+      << "wrong qubit count for " << GateName(kind);
+  QDM_CHECK_EQ(static_cast<size_t>(GateParamCount(kind)), params.size())
+      << "wrong param count for " << GateName(kind);
+  for (size_t i = 0; i < qubits.size(); ++i) {
+    QDM_CHECK(qubits[i] >= 0 && qubits[i] < num_qubits_)
+        << "qubit " << qubits[i] << " out of range for " << num_qubits_
+        << "-qubit circuit";
+    for (size_t j = i + 1; j < qubits.size(); ++j) {
+      QDM_CHECK_NE(qubits[i], qubits[j]) << "duplicate qubit in gate operands";
+    }
+  }
+  gates_.push_back(Gate{kind, std::move(qubits), std::move(params), -1});
+  return *this;
+}
+
+Circuit& Circuit::AppendSymbolic(GateKind kind, std::vector<int> qubits,
+                                 int param_ref) {
+  QDM_CHECK_GE(param_ref, 0);
+  QDM_CHECK_EQ(GateParamCount(kind), 1)
+      << "symbolic gates must take exactly one angle";
+  Append(kind, std::move(qubits), {0.0});
+  gates_.back().param_ref = param_ref;
+  num_parameters_ = std::max(num_parameters_, param_ref + 1);
+  return *this;
+}
+
+Circuit& Circuit::Compose(const Circuit& other) {
+  QDM_CHECK_EQ(num_qubits_, other.num_qubits_);
+  for (const Gate& g : other.gates_) {
+    gates_.push_back(g);
+    if (g.param_ref >= 0) {
+      num_parameters_ = std::max(num_parameters_, g.param_ref + 1);
+    }
+  }
+  return *this;
+}
+
+Circuit Circuit::BindParameters(const std::vector<double>& values) const {
+  QDM_CHECK_GE(values.size(), static_cast<size_t>(num_parameters_))
+      << "BindParameters: need " << num_parameters_ << " values";
+  Circuit bound(num_qubits_);
+  bound.gates_ = gates_;
+  for (Gate& g : bound.gates_) {
+    if (g.param_ref >= 0) {
+      g.params[0] = values[g.param_ref];
+      g.param_ref = -1;
+    }
+  }
+  return bound;
+}
+
+std::string Circuit::ToString() const {
+  std::string out;
+  for (const Gate& g : gates_) {
+    out += GateName(g.kind);
+    if (!g.params.empty()) {
+      out += "(";
+      std::vector<std::string> ps;
+      for (size_t i = 0; i < g.params.size(); ++i) {
+        if (g.param_ref >= 0) {
+          ps.push_back(StrFormat("theta[%d]", g.param_ref));
+        } else {
+          ps.push_back(StrFormat("%.6g", g.params[i]));
+        }
+      }
+      out += StrJoin(ps, ",");
+      out += ")";
+    }
+    out += " ";
+    std::vector<std::string> qs;
+    for (int q : g.qubits) qs.push_back(StrFormat("q[%d]", q));
+    out += StrJoin(qs, ",");
+    out += "\n";
+  }
+  return out;
+}
+
+int Circuit::MultiQubitGateCount() const {
+  int count = 0;
+  for (const Gate& g : gates_) {
+    if (g.qubits.size() >= 2) ++count;
+  }
+  return count;
+}
+
+}  // namespace circuit
+}  // namespace qdm

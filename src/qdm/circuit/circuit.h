@@ -1,0 +1,127 @@
+#ifndef QDM_CIRCUIT_CIRCUIT_H_
+#define QDM_CIRCUIT_CIRCUIT_H_
+
+#include <string>
+#include <vector>
+
+#include "qdm/circuit/gates.h"
+
+namespace qdm {
+namespace circuit {
+
+/// One gate application. `qubits` are simulator qubit indices; qubit 0 is the
+/// least-significant bit of a basis-state index. For controlled gates the
+/// controls come first and the target last (e.g. CX: {control, target}).
+///
+/// `param_ref` >= 0 marks the gate's angle as symbolic: it is resolved from an
+/// external parameter vector by Circuit::BindParameters. Symbolic gates must
+/// take exactly one parameter (the rotation gates).
+struct Gate {
+  GateKind kind;
+  std::vector<int> qubits;
+  std::vector<double> params;
+  int param_ref = -1;
+};
+
+/// A straight-line quantum circuit (unitary; measurement is performed by the
+/// simulator, not recorded as gates). Builder methods append gates and return
+/// *this for chaining:
+///
+///   Circuit c(2);
+///   c.H(0).CX(0, 1);   // Bell pair preparation
+class Circuit {
+ public:
+  explicit Circuit(int num_qubits);
+
+  int num_qubits() const { return num_qubits_; }
+  const std::vector<Gate>& gates() const { return gates_; }
+  size_t size() const { return gates_.size(); }
+
+  // -- Fixed single-qubit gates ----------------------------------------------
+  Circuit& I(int q) { return Append(GateKind::kI, {q}, {}); }
+  Circuit& X(int q) { return Append(GateKind::kX, {q}, {}); }
+  Circuit& Y(int q) { return Append(GateKind::kY, {q}, {}); }
+  Circuit& Z(int q) { return Append(GateKind::kZ, {q}, {}); }
+  Circuit& H(int q) { return Append(GateKind::kH, {q}, {}); }
+  Circuit& S(int q) { return Append(GateKind::kS, {q}, {}); }
+  Circuit& Sdg(int q) { return Append(GateKind::kSdg, {q}, {}); }
+  Circuit& T(int q) { return Append(GateKind::kT, {q}, {}); }
+  Circuit& Tdg(int q) { return Append(GateKind::kTdg, {q}, {}); }
+
+  // -- Parameterized single-qubit gates --------------------------------------
+  Circuit& RX(int q, double theta) { return Append(GateKind::kRX, {q}, {theta}); }
+  Circuit& RY(int q, double theta) { return Append(GateKind::kRY, {q}, {theta}); }
+  Circuit& RZ(int q, double theta) { return Append(GateKind::kRZ, {q}, {theta}); }
+  Circuit& Phase(int q, double lambda) {
+    return Append(GateKind::kPhase, {q}, {lambda});
+  }
+  Circuit& U3(int q, double theta, double phi, double lambda) {
+    return Append(GateKind::kU3, {q}, {theta, phi, lambda});
+  }
+
+  // -- Symbolic rotations (resolved by BindParameters) -----------------------
+  Circuit& SymbolicRX(int q, int param_ref) {
+    return AppendSymbolic(GateKind::kRX, {q}, param_ref);
+  }
+  Circuit& SymbolicRY(int q, int param_ref) {
+    return AppendSymbolic(GateKind::kRY, {q}, param_ref);
+  }
+  Circuit& SymbolicRZ(int q, int param_ref) {
+    return AppendSymbolic(GateKind::kRZ, {q}, param_ref);
+  }
+
+  // -- Multi-qubit gates ------------------------------------------------------
+  Circuit& CX(int control, int target) {
+    return Append(GateKind::kCX, {control, target}, {});
+  }
+  Circuit& CY(int control, int target) {
+    return Append(GateKind::kCY, {control, target}, {});
+  }
+  Circuit& CZ(int control, int target) {
+    return Append(GateKind::kCZ, {control, target}, {});
+  }
+  Circuit& Swap(int a, int b) { return Append(GateKind::kSwap, {a, b}, {}); }
+  Circuit& CRZ(int control, int target, double theta) {
+    return Append(GateKind::kCRZ, {control, target}, {theta});
+  }
+  Circuit& CPhase(int control, int target, double lambda) {
+    return Append(GateKind::kCPhase, {control, target}, {lambda});
+  }
+  Circuit& RZZ(int a, int b, double theta) {
+    return Append(GateKind::kRZZ, {a, b}, {theta});
+  }
+  Circuit& CCX(int c1, int c2, int target) {
+    return Append(GateKind::kCCX, {c1, c2, target}, {});
+  }
+  Circuit& CSwap(int control, int a, int b) {
+    return Append(GateKind::kCSwap, {control, a, b}, {});
+  }
+
+  /// Appends all gates of `other` (same qubit count required).
+  Circuit& Compose(const Circuit& other);
+
+  /// Number of distinct symbolic parameters referenced (max param_ref + 1).
+  int num_parameters() const { return num_parameters_; }
+
+  /// Returns a copy with every symbolic angle replaced by values[param_ref].
+  Circuit BindParameters(const std::vector<double>& values) const;
+
+  /// Multi-line OpenQASM-style listing ("h q[0]\ncx q[0],q[1]\n...").
+  std::string ToString() const;
+
+  /// Total two-qubit-or-larger gate count (a standard hardware-cost metric).
+  int MultiQubitGateCount() const;
+
+ private:
+  Circuit& Append(GateKind kind, std::vector<int> qubits, std::vector<double> params);
+  Circuit& AppendSymbolic(GateKind kind, std::vector<int> qubits, int param_ref);
+
+  int num_qubits_;
+  int num_parameters_ = 0;
+  std::vector<Gate> gates_;
+};
+
+}  // namespace circuit
+}  // namespace qdm
+
+#endif  // QDM_CIRCUIT_CIRCUIT_H_

@@ -1,0 +1,62 @@
+#ifndef QDM_CIRCUIT_GATES_H_
+#define QDM_CIRCUIT_GATES_H_
+
+#include <string>
+#include <vector>
+
+#include "qdm/linalg/matrix.h"
+
+namespace qdm {
+namespace circuit {
+
+/// The gate vocabulary of the toolkit. Covers the standard gate set used by
+/// the algorithms in scope (Grover, QAOA, VQE, QPE, VQC ansatze,
+/// teleportation circuits).
+enum class GateKind {
+  // Single-qubit, fixed.
+  kI,
+  kX,
+  kY,
+  kZ,
+  kH,
+  kS,
+  kSdg,
+  kT,
+  kTdg,
+  // Single-qubit, parameterized (angle in params[0]; kU3 uses params[0..2]).
+  kRX,
+  kRY,
+  kRZ,
+  kPhase,
+  kU3,
+  // Two-qubit.
+  kCX,
+  kCY,
+  kCZ,
+  kSwap,
+  kCRZ,
+  kCPhase,
+  kRZZ,
+  // Three-qubit.
+  kCCX,
+  kCSwap,
+};
+
+/// Number of qubits the gate acts on.
+int GateArity(GateKind kind);
+
+/// Number of rotation parameters the gate takes (0, 1, or 3).
+int GateParamCount(GateKind kind);
+
+/// Lower-case mnemonic ("h", "cx", "rz", ...), matching OpenQASM names.
+const char* GateName(GateKind kind);
+
+/// 2x2 unitary for a single-qubit gate. `params` must match GateParamCount.
+/// Convention: RX/RY/RZ(theta) = exp(-i theta P / 2); Phase(l) = diag(1, e^{il});
+/// U3(theta, phi, lambda) is the standard IBM parameterization.
+linalg::Matrix SingleQubitMatrix(GateKind kind, const std::vector<double>& params);
+
+}  // namespace circuit
+}  // namespace qdm
+
+#endif  // QDM_CIRCUIT_GATES_H_

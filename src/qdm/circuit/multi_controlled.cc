@@ -1,0 +1,49 @@
+#include "qdm/circuit/multi_controlled.h"
+
+#include "qdm/common/check.h"
+
+namespace qdm {
+namespace circuit {
+
+void AppendMultiControlledX(Circuit* c, const std::vector<int>& controls,
+                            int target, const std::vector<int>& ancillas) {
+  QDM_CHECK(!controls.empty());
+  const int k = static_cast<int>(controls.size());
+  if (k == 1) {
+    c->CX(controls[0], target);
+    return;
+  }
+  if (k == 2) {
+    c->CCX(controls[0], controls[1], target);
+    return;
+  }
+  QDM_CHECK_GE(static_cast<int>(ancillas.size()), k - 2)
+      << "need " << k - 2 << " clean ancillas for " << k << " controls";
+
+  // Compute ladder: anc[0] = c0 AND c1; anc[i] = anc[i-1] AND c[i+1].
+  c->CCX(controls[0], controls[1], ancillas[0]);
+  for (int i = 2; i < k - 1; ++i) {
+    c->CCX(controls[i], ancillas[i - 2], ancillas[i - 1]);
+  }
+  // Apply: target ^= anc[k-3] AND c[k-1].
+  c->CCX(controls[k - 1], ancillas[k - 3], target);
+  // Uncompute the ladder.
+  for (int i = k - 2; i >= 2; --i) {
+    c->CCX(controls[i], ancillas[i - 2], ancillas[i - 1]);
+  }
+  c->CCX(controls[0], controls[1], ancillas[0]);
+}
+
+void AppendMultiControlledZ(Circuit* c, const std::vector<int>& controls,
+                            int target, const std::vector<int>& ancillas) {
+  if (controls.size() == 1) {
+    c->CZ(controls[0], target);
+    return;
+  }
+  c->H(target);
+  AppendMultiControlledX(c, controls, target, ancillas);
+  c->H(target);
+}
+
+}  // namespace circuit
+}  // namespace qdm

@@ -1,0 +1,22 @@
+#include "qdm/common/rng.h"
+
+namespace qdm {
+
+size_t Rng::Categorical(const std::vector<double>& weights) {
+  QDM_CHECK(!weights.empty());
+  double total = 0.0;
+  for (double w : weights) {
+    QDM_CHECK_GE(w, 0.0);
+    total += w;
+  }
+  QDM_CHECK_GT(total, 0.0) << "Categorical() needs at least one positive weight";
+  double r = Uniform() * total;
+  double acc = 0.0;
+  for (size_t i = 0; i < weights.size(); ++i) {
+    acc += weights[i];
+    if (r < acc) return i;
+  }
+  return weights.size() - 1;  // Guard against floating-point round-off.
+}
+
+}  // namespace qdm

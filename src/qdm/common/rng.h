@@ -1,0 +1,72 @@
+#ifndef QDM_COMMON_RNG_H_
+#define QDM_COMMON_RNG_H_
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+#include "qdm/common/check.h"
+
+namespace qdm {
+
+/// Deterministic pseudo-random number generator used throughout the toolkit.
+/// All stochastic components (annealers, shot sampling, workload generators,
+/// network simulation) take an explicit Rng so that experiments are
+/// reproducible from a seed.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x9E3779B97F4A7C15ull) : engine_(seed) {}
+
+  /// Uniform double in [0, 1).
+  double Uniform() { return unit_(engine_); }
+
+  /// Uniform double in [lo, hi).
+  double Uniform(double lo, double hi) { return lo + (hi - lo) * Uniform(); }
+
+  /// Uniform integer in [lo, hi] (inclusive).
+  int64_t UniformInt(int64_t lo, int64_t hi) {
+    QDM_CHECK_LE(lo, hi);
+    return std::uniform_int_distribution<int64_t>(lo, hi)(engine_);
+  }
+
+  /// Bernoulli trial with success probability p.
+  bool Bernoulli(double p) { return Uniform() < p; }
+
+  /// Standard normal sample.
+  double Gaussian() { return normal_(engine_); }
+
+  /// Gaussian with the given mean and standard deviation.
+  double Gaussian(double mean, double stddev) {
+    return mean + stddev * Gaussian();
+  }
+
+  /// Exponential sample with the given rate (mean 1/rate).
+  double Exponential(double rate) {
+    QDM_CHECK_GT(rate, 0.0);
+    return std::exponential_distribution<double>(rate)(engine_);
+  }
+
+  /// Samples an index in [0, weights.size()) proportionally to weights.
+  size_t Categorical(const std::vector<double>& weights);
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>* items) {
+    for (size_t i = items->size(); i > 1; --i) {
+      size_t j = static_cast<size_t>(UniformInt(0, static_cast<int64_t>(i) - 1));
+      std::swap((*items)[i - 1], (*items)[j]);
+    }
+  }
+
+  /// Underlying engine, for std distributions not wrapped here.
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+  std::uniform_real_distribution<double> unit_{0.0, 1.0};
+  std::normal_distribution<double> normal_{0.0, 1.0};
+};
+
+}  // namespace qdm
+
+#endif  // QDM_COMMON_RNG_H_

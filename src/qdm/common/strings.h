@@ -1,0 +1,30 @@
+#ifndef QDM_COMMON_STRINGS_H_
+#define QDM_COMMON_STRINGS_H_
+
+#include <string>
+#include <vector>
+
+namespace qdm {
+
+/// printf-style formatting into a std::string.
+/// (libstdc++ 12 does not ship <format>, so the toolkit provides this shim.)
+std::string StrFormat(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/// Joins `parts` with `sep` ("a", "b" -> "a,b").
+std::string StrJoin(const std::vector<std::string>& parts, const std::string& sep);
+
+/// Splits `text` at every occurrence of `sep`; keeps empty fields.
+std::vector<std::string> StrSplit(const std::string& text, char sep);
+
+/// Removes leading/trailing ASCII whitespace.
+std::string StrTrim(const std::string& text);
+
+/// True if `text` starts with `prefix`.
+bool StartsWith(const std::string& text, const std::string& prefix);
+
+/// ASCII lower-casing.
+std::string ToLower(const std::string& text);
+
+}  // namespace qdm
+
+#endif  // QDM_COMMON_STRINGS_H_

@@ -1,0 +1,31 @@
+#ifndef QDM_COMMON_TABLE_PRINTER_H_
+#define QDM_COMMON_TABLE_PRINTER_H_
+
+#include <string>
+#include <vector>
+
+namespace qdm {
+
+/// Renders aligned, monospace report tables. Every benchmark binary uses this
+/// to print the paper-style table/figure series it regenerates.
+///
+///   TablePrinter t({"N", "classical", "quantum"});
+///   t.AddRow({"1024", "512.0", "25"});
+///   std::cout << t.ToString();
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> header);
+
+  void AddRow(std::vector<std::string> row);
+
+  /// Renders the table with a header separator line.
+  std::string ToString() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace qdm
+
+#endif  // QDM_COMMON_TABLE_PRINTER_H_

@@ -1,0 +1,50 @@
+#include "qdm/db/catalog.h"
+
+#include <unordered_set>
+
+namespace qdm {
+namespace db {
+
+TableStats ComputeStats(const Table& table) {
+  TableStats stats;
+  stats.row_count = table.num_rows();
+  stats.distinct_counts.resize(table.schema().num_columns(), 0);
+  for (size_t c = 0; c < table.schema().num_columns(); ++c) {
+    std::unordered_set<Value, ValueHasher> distinct;
+    for (const Row& row : table.rows()) distinct.insert(row[c]);
+    stats.distinct_counts[c] = distinct.size();
+  }
+  return stats;
+}
+
+Status Catalog::AddTable(Table table) {
+  const std::string name = table.name();
+  if (tables_.count(name)) {
+    return Status::AlreadyExists("table " + name + " already registered");
+  }
+  stats_[name] = ComputeStats(table);
+  tables_.emplace(name, std::move(table));
+  return Status::Ok();
+}
+
+Result<const Table*> Catalog::GetTable(const std::string& name) const {
+  auto it = tables_.find(name);
+  if (it == tables_.end()) return Status::NotFound("no table named " + name);
+  return &it->second;
+}
+
+Result<TableStats> Catalog::GetStats(const std::string& name) const {
+  auto it = stats_.find(name);
+  if (it == stats_.end()) return Status::NotFound("no stats for table " + name);
+  return it->second;
+}
+
+std::vector<std::string> Catalog::TableNames() const {
+  std::vector<std::string> names;
+  names.reserve(tables_.size());
+  for (const auto& [name, table] : tables_) names.push_back(name);
+  return names;
+}
+
+}  // namespace db
+}  // namespace qdm

@@ -1,0 +1,46 @@
+#ifndef QDM_DB_CATALOG_H_
+#define QDM_DB_CATALOG_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "qdm/common/status.h"
+#include "qdm/db/table.h"
+
+namespace qdm {
+namespace db {
+
+/// Per-table statistics used by the cardinality estimator.
+struct TableStats {
+  uint64_t row_count = 0;
+  /// Number of distinct values per column (same order as the schema).
+  std::vector<uint64_t> distinct_counts;
+};
+
+/// Computes exact statistics by scanning the table.
+TableStats ComputeStats(const Table& table);
+
+/// The database: named tables plus their statistics.
+class Catalog {
+ public:
+  Catalog() = default;
+
+  /// Registers a table and computes its statistics. Fails on duplicates.
+  Status AddTable(Table table);
+
+  Result<const Table*> GetTable(const std::string& name) const;
+  Result<TableStats> GetStats(const std::string& name) const;
+
+  std::vector<std::string> TableNames() const;
+  size_t num_tables() const { return tables_.size(); }
+
+ private:
+  std::map<std::string, Table> tables_;
+  std::map<std::string, TableStats> stats_;
+};
+
+}  // namespace db
+}  // namespace qdm
+
+#endif  // QDM_DB_CATALOG_H_

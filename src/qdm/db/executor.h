@@ -1,0 +1,31 @@
+#ifndef QDM_DB_EXECUTOR_H_
+#define QDM_DB_EXECUTOR_H_
+
+#include "qdm/common/status.h"
+#include "qdm/db/catalog.h"
+#include "qdm/db/join_tree.h"
+
+namespace qdm {
+namespace db {
+
+/// Executes a join tree over the physical tables in `catalog`.
+///
+/// Column naming: every column of relation R is exposed as "R.col" in the
+/// output schema. JoinEdges whose relations span the two subtrees are
+/// evaluated as equi-join predicates (hash join on the first edge, residual
+/// edges as post-join filters); subtrees connected by no edge produce a
+/// cross product, exactly as the cost model assumes.
+///
+/// This is how the optimizer experiments validate plans end-to-end: every
+/// join order of the same query must produce the same multiset of rows.
+Result<Table> ExecuteJoinTree(const JoinTreeRef& tree, const JoinGraph& graph,
+                              const Catalog& catalog);
+
+/// Canonical fingerprint of a table's row multiset (order- and column-order-
+/// insensitive given identical schemas). Used to compare plan outputs.
+uint64_t TableFingerprint(const Table& table);
+
+}  // namespace db
+}  // namespace qdm
+
+#endif  // QDM_DB_EXECUTOR_H_

@@ -1,0 +1,164 @@
+#include "qdm/db/join_optimizer.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "qdm/common/check.h"
+
+namespace qdm {
+namespace db {
+
+namespace {
+constexpr double kInf = std::numeric_limits<double>::infinity();
+}  // namespace
+
+PlanResult OptimalBushyPlan(const JoinGraph& graph) {
+  const int n = graph.num_relations();
+  QDM_CHECK_GE(n, 1);
+  QDM_CHECK_LE(n, 20) << "DP over subsets is exponential";
+  const uint32_t full = (uint32_t{1} << n) - 1;
+
+  std::vector<double> best_cost(full + 1, kInf);
+  std::vector<JoinTreeRef> best_tree(full + 1);
+  for (int i = 0; i < n; ++i) {
+    best_cost[uint32_t{1} << i] = 0.0;
+    best_tree[uint32_t{1} << i] = MakeLeaf(i);
+  }
+
+  for (uint32_t mask = 1; mask <= full; ++mask) {
+    if ((mask & (mask - 1)) == 0) continue;  // Singletons already seeded.
+    const double output_card = graph.SubsetCardinality(mask);
+    // Enumerate proper sub-splits; visit each unordered split once by
+    // requiring the split to contain the lowest set bit.
+    const uint32_t lowest = mask & (-mask);
+    for (uint32_t sub = (mask - 1) & mask; sub > 0; sub = (sub - 1) & mask) {
+      if (!(sub & lowest)) continue;
+      const uint32_t rest = mask ^ sub;
+      if (best_cost[sub] == kInf || best_cost[rest] == kInf) continue;
+      const double cost = best_cost[sub] + best_cost[rest] + output_card;
+      if (cost < best_cost[mask]) {
+        best_cost[mask] = cost;
+        best_tree[mask] = MakeJoin(best_tree[sub], best_tree[rest]);
+      }
+    }
+  }
+  return PlanResult{best_tree[full], best_cost[full]};
+}
+
+PlanResult OptimalLeftDeepPlan(const JoinGraph& graph) {
+  const int n = graph.num_relations();
+  QDM_CHECK_GE(n, 1);
+  QDM_CHECK_LE(n, 20);
+  const uint32_t full = (uint32_t{1} << n) - 1;
+
+  std::vector<double> best_cost(full + 1, kInf);
+  std::vector<JoinTreeRef> best_tree(full + 1);
+  for (int i = 0; i < n; ++i) {
+    best_cost[uint32_t{1} << i] = 0.0;
+    best_tree[uint32_t{1} << i] = MakeLeaf(i);
+  }
+
+  for (uint32_t mask = 1; mask <= full; ++mask) {
+    if ((mask & (mask - 1)) == 0) continue;
+    const double output_card = graph.SubsetCardinality(mask);
+    for (int last = 0; last < n; ++last) {
+      const uint32_t bit = uint32_t{1} << last;
+      if (!(mask & bit)) continue;
+      const uint32_t rest = mask ^ bit;
+      if (best_cost[rest] == kInf) continue;
+      const double cost = best_cost[rest] + output_card;
+      if (cost < best_cost[mask]) {
+        best_cost[mask] = cost;
+        best_tree[mask] = MakeJoin(best_tree[rest], MakeLeaf(last));
+      }
+    }
+  }
+  return PlanResult{best_tree[full], best_cost[full]};
+}
+
+PlanResult GreedyOperatorOrdering(const JoinGraph& graph) {
+  const int n = graph.num_relations();
+  QDM_CHECK_GE(n, 1);
+  struct Partial {
+    JoinTreeRef tree;
+    uint32_t mask;
+  };
+  std::vector<Partial> forest;
+  for (int i = 0; i < n; ++i) {
+    forest.push_back({MakeLeaf(i), uint32_t{1} << i});
+  }
+  double total_cost = 0.0;
+  while (forest.size() > 1) {
+    double best_card = kInf;
+    size_t best_a = 0, best_b = 1;
+    for (size_t a = 0; a < forest.size(); ++a) {
+      for (size_t b = a + 1; b < forest.size(); ++b) {
+        const double card =
+            graph.SubsetCardinality(forest[a].mask | forest[b].mask);
+        if (card < best_card) {
+          best_card = card;
+          best_a = a;
+          best_b = b;
+        }
+      }
+    }
+    Partial merged{MakeJoin(forest[best_a].tree, forest[best_b].tree),
+                   forest[best_a].mask | forest[best_b].mask};
+    total_cost += best_card;
+    forest.erase(forest.begin() + best_b);
+    forest.erase(forest.begin() + best_a);
+    forest.push_back(std::move(merged));
+  }
+  return PlanResult{forest[0].tree, total_cost};
+}
+
+PlanResult RandomLeftDeepPlan(const JoinGraph& graph, Rng* rng) {
+  std::vector<int> order(graph.num_relations());
+  for (int i = 0; i < graph.num_relations(); ++i) order[i] = i;
+  rng->Shuffle(&order);
+  return PlanResult{LeftDeepFromPermutation(order),
+                    PermutationCost(order, graph)};
+}
+
+PlanResult IterativeImprovementPlan(const JoinGraph& graph, int iterations,
+                                    Rng* rng) {
+  const int n = graph.num_relations();
+  QDM_CHECK_GE(n, 2);
+  std::vector<int> best_order(n);
+  double best_cost = kInf;
+
+  std::vector<int> order(n);
+  for (int i = 0; i < n; ++i) order[i] = i;
+
+  int remaining = iterations;
+  while (remaining > 0) {
+    rng->Shuffle(&order);
+    double cost = PermutationCost(order, graph);
+    --remaining;
+    bool improved = true;
+    while (improved && remaining > 0) {
+      improved = false;
+      for (int a = 0; a < n && remaining > 0; ++a) {
+        for (int b = a + 1; b < n && remaining > 0; ++b) {
+          std::swap(order[a], order[b]);
+          const double candidate = PermutationCost(order, graph);
+          --remaining;
+          if (candidate < cost) {
+            cost = candidate;
+            improved = true;
+          } else {
+            std::swap(order[a], order[b]);
+          }
+        }
+      }
+    }
+    if (cost < best_cost) {
+      best_cost = cost;
+      best_order = order;
+    }
+  }
+  return PlanResult{LeftDeepFromPermutation(best_order), best_cost};
+}
+
+}  // namespace db
+}  // namespace qdm

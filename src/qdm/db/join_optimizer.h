@@ -1,0 +1,41 @@
+#ifndef QDM_DB_JOIN_OPTIMIZER_H_
+#define QDM_DB_JOIN_OPTIMIZER_H_
+
+#include <vector>
+
+#include "qdm/common/rng.h"
+#include "qdm/db/join_tree.h"
+
+namespace qdm {
+namespace db {
+
+struct PlanResult {
+  JoinTreeRef tree;
+  double cost = 0.0;
+};
+
+/// Optimal BUSHY plan by dynamic programming over subsets (DPsize/DPsub
+/// family, cross products permitted). Exponential in n; intended for the
+/// n <= ~14 instances the quantum JO papers evaluate on.
+PlanResult OptimalBushyPlan(const JoinGraph& graph);
+
+/// Optimal LEFT-DEEP plan (Selinger-style DP over subsets).
+PlanResult OptimalLeftDeepPlan(const JoinGraph& graph);
+
+/// Greedy Operator Ordering: repeatedly joins the pair of partial results
+/// with the smallest output cardinality. Fast classical heuristic baseline.
+PlanResult GreedyOperatorOrdering(const JoinGraph& graph);
+
+/// Left-deep plan from a uniformly random permutation (the "no optimizer"
+/// baseline).
+PlanResult RandomLeftDeepPlan(const JoinGraph& graph, Rng* rng);
+
+/// Best of `iterations` random restarts of 2-opt local search over left-deep
+/// permutations ("II" from Steinbrunn et al.).
+PlanResult IterativeImprovementPlan(const JoinGraph& graph, int iterations,
+                                    Rng* rng);
+
+}  // namespace db
+}  // namespace qdm
+
+#endif  // QDM_DB_JOIN_OPTIMIZER_H_

@@ -1,0 +1,56 @@
+#ifndef QDM_DB_JOIN_TREE_H_
+#define QDM_DB_JOIN_TREE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "qdm/db/join_graph.h"
+
+namespace qdm {
+namespace db {
+
+/// Immutable binary join tree with structural sharing (DP tables reuse
+/// subtrees). Leaves carry a relation id.
+struct JoinTree;
+using JoinTreeRef = std::shared_ptr<const JoinTree>;
+
+struct JoinTree {
+  int relation = -1;  // >= 0 at leaves.
+  JoinTreeRef left;
+  JoinTreeRef right;
+
+  bool is_leaf() const { return relation >= 0; }
+};
+
+JoinTreeRef MakeLeaf(int relation);
+JoinTreeRef MakeJoin(JoinTreeRef left, JoinTreeRef right);
+
+/// Bitmask of relations contained in the subtree.
+uint32_t TreeMask(const JoinTreeRef& tree);
+
+/// Number of relations (leaves).
+int TreeSize(const JoinTreeRef& tree);
+
+/// True if every right child is a leaf (the left-deep space searched by
+/// Selinger-style optimizers and by the QUBO encodings of [23, 24]).
+bool IsLeftDeep(const JoinTreeRef& tree);
+
+/// C_out cost: the sum of estimated intermediate-result cardinalities over
+/// all internal nodes. The standard optimizer objective in the join-ordering
+/// literature (and the one the quantum JO papers encode).
+double CoutCost(const JoinTreeRef& tree, const JoinGraph& graph);
+
+/// Left-deep plan from a relation order: ((r0 x r1) x r2) x ...
+JoinTreeRef LeftDeepFromPermutation(const std::vector<int>& order);
+
+/// C_out of a left-deep permutation without building the tree.
+double PermutationCost(const std::vector<int>& order, const JoinGraph& graph);
+
+/// "(((R0 ⋈ R1) ⋈ R2) ⋈ R3)"-style rendering.
+std::string TreeToString(const JoinTreeRef& tree, const JoinGraph& graph);
+
+}  // namespace db
+}  // namespace qdm
+
+#endif  // QDM_DB_JOIN_TREE_H_

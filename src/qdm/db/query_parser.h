@@ -1,0 +1,45 @@
+#ifndef QDM_DB_QUERY_PARSER_H_
+#define QDM_DB_QUERY_PARSER_H_
+
+#include <string>
+#include <vector>
+
+#include "qdm/common/status.h"
+#include "qdm/db/catalog.h"
+#include "qdm/db/join_graph.h"
+
+namespace qdm {
+namespace db {
+
+/// A parsed conjunctive (select-project-join) query:
+///   SELECT * FROM R0, R1, R2 WHERE R0.a = R1.b AND R1.c = R2.d
+/// The paper frames its complexity discussion (Sec III-A) around exactly
+/// this class; it is also the input language of every join-ordering
+/// experiment here.
+struct ParsedQuery {
+  std::vector<std::string> tables;
+  struct JoinPredicate {
+    std::string left_table;
+    std::string left_column;
+    std::string right_table;
+    std::string right_column;
+  };
+  std::vector<JoinPredicate> predicates;
+};
+
+/// Parses the SELECT * FROM ... [WHERE a.x = b.y AND ...] form. Keywords are
+/// case-insensitive; identifiers are [A-Za-z_][A-Za-z0-9_]*.
+Result<ParsedQuery> ParseConjunctiveQuery(const std::string& sql);
+
+/// Binds a parsed query against the catalog: cardinalities come from table
+/// statistics, join selectivities from the System-R uniform estimate
+/// 1 / max(distinct(left column), distinct(right column)), and the physical
+/// column names are attached so plans remain executable.
+/// Fails on unknown tables/columns or predicates between unlisted tables.
+Result<JoinGraph> BuildJoinGraph(const ParsedQuery& query,
+                                 const Catalog& catalog);
+
+}  // namespace db
+}  // namespace qdm
+
+#endif  // QDM_DB_QUERY_PARSER_H_

@@ -1,0 +1,76 @@
+#ifndef QDM_DB_TABLE_H_
+#define QDM_DB_TABLE_H_
+
+#include <string>
+#include <vector>
+
+#include "qdm/common/status.h"
+#include "qdm/db/value.h"
+
+namespace qdm {
+namespace db {
+
+/// A named, typed column.
+struct Column {
+  std::string name;
+  ValueType type = ValueType::kInt64;
+};
+
+/// Ordered column list with name lookup.
+class Schema {
+ public:
+  Schema() = default;
+  explicit Schema(std::vector<Column> columns);
+
+  size_t num_columns() const { return columns_.size(); }
+  const Column& column(size_t i) const;
+  const std::vector<Column>& columns() const { return columns_; }
+
+  /// Index of the column named `name`, or NotFound.
+  Result<size_t> ColumnIndex(const std::string& name) const;
+
+  /// Schema of `this` concatenated with `other` (join output), columns of
+  /// `other` renamed with a prefix when they would collide.
+  Schema Concat(const Schema& other) const;
+
+  std::string ToString() const;
+
+ private:
+  std::vector<Column> columns_;
+};
+
+using Row = std::vector<Value>;
+
+/// Row-store table. The substrate for executing join plans end-to-end so the
+/// optimizer experiments can validate that every join order produces the same
+/// relation.
+class Table {
+ public:
+  Table() = default;
+  Table(std::string name, Schema schema)
+      : name_(std::move(name)), schema_(std::move(schema)) {}
+
+  const std::string& name() const { return name_; }
+  const Schema& schema() const { return schema_; }
+  size_t num_rows() const { return rows_.size(); }
+  const std::vector<Row>& rows() const { return rows_; }
+  const Row& row(size_t i) const;
+
+  /// Validates arity and types (null always allowed) before appending.
+  Status Append(Row row);
+
+  /// Unchecked append for generators that construct valid rows by design.
+  void AppendUnchecked(Row row) { rows_.push_back(std::move(row)); }
+
+  std::string ToString(size_t max_rows = 10) const;
+
+ private:
+  std::string name_;
+  Schema schema_;
+  std::vector<Row> rows_;
+};
+
+}  // namespace db
+}  // namespace qdm
+
+#endif  // QDM_DB_TABLE_H_

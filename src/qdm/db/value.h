@@ -1,0 +1,58 @@
+#ifndef QDM_DB_VALUE_H_
+#define QDM_DB_VALUE_H_
+
+#include <cstdint>
+#include <string>
+#include <variant>
+
+namespace qdm {
+namespace db {
+
+enum class ValueType {
+  kNull,
+  kInt64,
+  kDouble,
+  kString,
+};
+
+const char* ValueTypeToString(ValueType type);
+
+/// A single relational cell. Small tagged union; totally ordered within a
+/// type (mixed-type comparison orders by type id, as SQLite does).
+class Value {
+ public:
+  Value() : data_(std::monostate{}) {}
+  explicit Value(int64_t v) : data_(v) {}
+  explicit Value(double v) : data_(v) {}
+  explicit Value(std::string v) : data_(std::move(v)) {}
+  static Value Null() { return Value(); }
+
+  ValueType type() const;
+  bool is_null() const { return type() == ValueType::kNull; }
+
+  int64_t AsInt64() const;
+  double AsDouble() const;
+  const std::string& AsString() const;
+
+  /// SQL-style rendering ("NULL", "42", "3.14", "'abc'").
+  std::string ToString() const;
+
+  size_t Hash() const;
+
+  friend bool operator==(const Value& a, const Value& b) {
+    return a.data_ == b.data_;
+  }
+  friend bool operator<(const Value& a, const Value& b);
+
+ private:
+  std::variant<std::monostate, int64_t, double, std::string> data_;
+};
+
+struct ValueHasher {
+  size_t operator()(const Value& v) const { return v.Hash(); }
+};
+
+}  // namespace db
+}  // namespace qdm
+
+#endif  // QDM_DB_VALUE_H_

@@ -1,0 +1,40 @@
+#ifndef QDM_DB_WORKLOAD_H_
+#define QDM_DB_WORKLOAD_H_
+
+#include "qdm/common/rng.h"
+#include "qdm/db/catalog.h"
+#include "qdm/db/join_graph.h"
+
+namespace qdm {
+namespace db {
+
+/// A physical database together with the join query (and its statistics-
+/// derived selectivity estimates) posed against it.
+struct GeneratedWorkload {
+  Catalog catalog;
+  JoinGraph graph;
+};
+
+struct WorkloadOptions {
+  /// Rows per table are drawn log-uniformly from [min_rows, max_rows].
+  int min_rows = 20;
+  int max_rows = 200;
+  /// Each join column's domain size relative to the smaller table
+  /// (larger domain -> more selective join).
+  double min_domain_fraction = 0.5;
+  double max_domain_fraction = 2.0;
+};
+
+/// Generates tables + join columns realizing the requested query shape.
+/// Each JoinEdge is physically bound (both tables get an int64 column drawn
+/// from a shared domain of size d) and its selectivity is set to the
+/// estimator value 1/d, so estimated and actual join sizes agree in
+/// expectation (uniformity holds by construction).
+GeneratedWorkload GenerateJoinWorkload(QueryShape shape, int n,
+                                       const WorkloadOptions& options,
+                                       Rng* rng);
+
+}  // namespace db
+}  // namespace qdm
+
+#endif  // QDM_DB_WORKLOAD_H_

@@ -1,0 +1,111 @@
+#ifndef QDM_NONLOCAL_GAMES_H_
+#define QDM_NONLOCAL_GAMES_H_
+
+#include <array>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "qdm/algo/optimizers.h"
+#include "qdm/common/rng.h"
+#include "qdm/linalg/matrix.h"
+#include "qdm/sim/statevector.h"
+
+namespace qdm {
+namespace nonlocal {
+
+/// A two-player nonlocal game (paper Sec IV-A): a referee draws inputs
+/// (x, y) uniformly; isolated players answer bits (a, b); they win when
+/// `predicate(x, y, a, b)` holds. The paper's running example is CHSH:
+/// win iff x AND y == a XOR b.
+struct TwoPlayerGame {
+  std::string name;
+  int num_inputs = 2;  // x, y in [0, num_inputs).
+  std::function<bool(int x, int y, int a, int b)> predicate;
+};
+
+/// The Clauser-Horne-Shimony-Holt game (Example IV.2).
+TwoPlayerGame ChshGame();
+
+/// Exact classical value: the maximum winning probability over all
+/// deterministic strategies (shared randomness cannot beat the best
+/// deterministic strategy). For CHSH this is 3/4.
+double ClassicalValueTwoPlayer(const TwoPlayerGame& game);
+
+/// A quantum strategy: a shared two-qubit state (qubit 0 = Alice, qubit 1 =
+/// Bob) and one pre-measurement rotation per player per input; each player
+/// applies their rotation and measures Z.
+struct TwoPlayerQuantumStrategy {
+  sim::Statevector shared_state{2};
+  std::vector<linalg::Matrix> alice_rotations;  // [num_inputs] 2x2 unitaries.
+  std::vector<linalg::Matrix> bob_rotations;
+};
+
+/// Pre-measurement rotation measuring the observable
+/// cos(theta) Z + sin(theta) X (measurement in the X-Z plane).
+linalg::Matrix MeasureInXZPlane(double theta);
+/// Pre-measurement rotations for the Pauli X / Y observables.
+linalg::Matrix MeasureX();
+linalg::Matrix MeasureY();
+
+/// Textbook-optimal CHSH strategy: shared Bell state Phi+, Alice measures
+/// Z / X (theta = 0, pi/2), Bob measures at theta = pi/4, -pi/4. Achieves
+/// cos^2(pi/8) ~ 0.8536.
+TwoPlayerQuantumStrategy OptimalChshStrategy();
+
+/// Exact winning probability of a quantum strategy (uniform inputs).
+double QuantumValueTwoPlayer(const TwoPlayerGame& game,
+                             const TwoPlayerQuantumStrategy& strategy);
+
+/// Plays `rounds` sampled rounds (measurement randomness from `rng`) and
+/// returns the empirical win rate.
+double PlayTwoPlayerGame(const TwoPlayerGame& game,
+                         const TwoPlayerQuantumStrategy& strategy, int rounds,
+                         Rng* rng);
+
+/// Numerically optimizes X-Z-plane measurement angles for a game over the
+/// shared Bell state, starting from `restarts` random angle vectors. Used to
+/// show that ~0.8536 (the Tsirelson bound for CHSH) emerges from
+/// optimization rather than being hard-coded.
+algo::OptimizationResult OptimizeXZAngles(const TwoPlayerGame& game,
+                                          int restarts, Rng* rng);
+
+// ---------------------------------------------------------------------------
+// Three-player games (the GHZ game of Sec IV-A).
+
+struct ThreePlayerGame {
+  std::string name;
+  /// Allowed referee questions (r, s, t); drawn uniformly.
+  std::vector<std::array<int, 3>> questions;
+  /// Win condition on (question, answers a, b, c).
+  std::function<bool(const std::array<int, 3>&, int a, int b, int c)> predicate;
+};
+
+/// The Greenberger-Horne-Zeilinger game: questions {000, 011, 101, 110};
+/// win iff a XOR b XOR c == r OR s OR t.
+ThreePlayerGame GhzGame();
+
+/// Max over deterministic strategies; 3/4 for GHZ.
+double ClassicalValueThreePlayer(const ThreePlayerGame& game);
+
+struct ThreePlayerQuantumStrategy {
+  sim::Statevector shared_state{3};
+  /// rotations[player][input bit]: pre-measurement rotation.
+  std::vector<std::vector<linalg::Matrix>> rotations;
+};
+
+/// Textbook GHZ strategy: shared GHZ state; measure X on input 0 and Y on
+/// input 1. Wins with probability exactly 1.
+ThreePlayerQuantumStrategy OptimalGhzStrategy();
+
+double QuantumValueThreePlayer(const ThreePlayerGame& game,
+                               const ThreePlayerQuantumStrategy& strategy);
+
+double PlayThreePlayerGame(const ThreePlayerGame& game,
+                           const ThreePlayerQuantumStrategy& strategy,
+                           int rounds, Rng* rng);
+
+}  // namespace nonlocal
+}  // namespace qdm
+
+#endif  // QDM_NONLOCAL_GAMES_H_

@@ -1,0 +1,54 @@
+#ifndef QDM_NONLOCAL_MAGIC_SQUARE_H_
+#define QDM_NONLOCAL_MAGIC_SQUARE_H_
+
+#include <array>
+#include <string>
+
+#include "qdm/common/rng.h"
+
+namespace qdm {
+namespace nonlocal {
+
+/// The Mermin-Peres magic square game -- the natural next step after CHSH
+/// and GHZ in the paper's Sec IV-A program (a two-player PSEUDO-TELEPATHY
+/// game: quantum strategies win with certainty, classical ones cannot).
+///
+/// Rules: the referee draws a row r and column c uniformly. Alice fills her
+/// row with three signs of product +1; Bob fills his column with three signs
+/// of product -1. They win when their shared cell (r, c) agrees.
+///
+///  * Classical value: 8/9 (no sign table has all rows multiply to +1 and
+///    all columns to -1).
+///  * Quantum value: 1, by measuring the 3x3 grid of two-qubit Pauli
+///    observables on two shared Bell pairs:
+///        XI  IX  XX
+///        IZ  ZI  ZZ
+///       -XZ -ZX -YY        (the sign is absorbed into the outputs)
+///    Each row/column is a commuting triple, so the players can measure all
+///    three observables jointly.
+
+/// Exact classical value by exhaustive strategy enumeration: 8/9.
+double ClassicalValueMagicSquare();
+
+/// The two-qubit Pauli string (over "IXYZ") at grid cell (row, col) and the
+/// sign it carries in the magic square (+1 except the bottom row's -1s).
+std::string MagicSquareObservable(int row, int col);
+int MagicSquareSign(int row, int col);
+
+/// Plays `rounds` rounds of the quantum strategy on fresh Bell pairs and
+/// returns the win rate (exactly 1.0: pseudo-telepathy).
+double PlayMagicSquareQuantum(int rounds, Rng* rng);
+
+/// Result of one round, exposed for tests.
+struct MagicSquareRound {
+  std::array<int, 3> alice_signs;  // Product must be +1.
+  std::array<int, 3> bob_signs;    // Product must be -1.
+  bool won = false;
+};
+
+MagicSquareRound PlayMagicSquareRound(int row, int col, Rng* rng);
+
+}  // namespace nonlocal
+}  // namespace qdm
+
+#endif  // QDM_NONLOCAL_MAGIC_SQUARE_H_

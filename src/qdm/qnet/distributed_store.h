@@ -1,0 +1,113 @@
+#ifndef QDM_QNET_DISTRIBUTED_STORE_H_
+#define QDM_QNET_DISTRIBUTED_STORE_H_
+
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "qdm/common/status.h"
+#include "qdm/qnet/network.h"
+#include "qdm/qnet/qkd.h"
+#include "qdm/qnet/qubit.h"
+#include "qdm/qnet/teleport.h"
+
+namespace qdm {
+namespace qnet {
+
+/// The forward-looking data layer of Sec IV-B: a key-value store spanning
+/// quantum-internet nodes that manages BOTH classical and quantum payloads
+/// under the asymmetry the paper highlights:
+///
+///  * classical objects can be freely REPLICATED; transfers are secured by
+///    BB84 keys established over the quantum network (one key bit per
+///    payload bit, one-time-pad style);
+///  * quantum objects obey no-cloning: replication is a typed error; the
+///    only placement change is MIGRATION by teleportation, which consumes
+///    one routed EPR pair and destroys the source.
+class DistributedQuantumStore {
+ public:
+  struct Options {
+    double memory_t_s = 1.0;
+    double swap_success = 0.9;
+    /// Channel error assumed for QKD sessions (per km scaling keeps it
+    /// simple: error = min(0.5, qkd_error_per_km * route_km)).
+    double qkd_error_per_km = 0.0002;
+  };
+
+  /// `network` is copied in; `rng` must outlive the store.
+  DistributedQuantumStore(QuantumNetwork network, Options options, Rng* rng);
+
+  QuantumNetwork& network() { return network_; }
+
+  // -- Classical objects ------------------------------------------------------
+
+  Status PutClassical(int node, const std::string& key, std::string payload);
+
+  /// Replicates the classical object to `target_node` over a QKD-secured
+  /// channel. Fails when no key material can be established (eavesdropped
+  /// or partitioned route).
+  Status ReplicateClassical(const std::string& key, int target_node);
+
+  /// Nodes currently holding a replica.
+  Result<std::set<int>> ClassicalLocations(const std::string& key) const;
+  Result<std::string> ReadClassical(const std::string& key, int node) const;
+
+  // -- Quantum objects --------------------------------------------------------
+
+  Status PutQuantum(int node, const std::string& key, Qubit qubit);
+
+  /// ALWAYS fails with FailedPrecondition: the no-cloning theorem forbids
+  /// copying quantum data. Exists so callers get a typed, documented error
+  /// rather than silent misbehaviour.
+  Status ReplicateQuantum(const std::string& key, int target_node);
+
+  /// Moves the quantum object by teleportation: routes entanglement to the
+  /// target, runs the teleport protocol (consuming the source), and stores
+  /// the received qubit at the target node.
+  Status MigrateQuantum(const std::string& key, int target_node);
+
+  Result<int> QuantumLocation(const std::string& key) const;
+
+  /// Fidelity of the stored qubit against the payload originally written
+  /// (degrades stochastically with every migration over imperfect pairs).
+  Result<double> QuantumFidelity(const std::string& key) const;
+
+  // -- Accounting --------------------------------------------------------------
+
+  struct Stats {
+    int teleports = 0;
+    int epr_pairs_consumed = 0;
+    double qkd_secure_bits = 0.0;
+    int qkd_sessions = 0;
+    int replications = 0;
+  };
+  const Stats& stats() const { return stats_; }
+  double now_s() const { return now_s_; }
+
+ private:
+  struct ClassicalObject {
+    std::string payload;
+    std::set<int> locations;
+  };
+  struct QuantumObject {
+    Qubit qubit;
+    Complex reference_alpha;
+    Complex reference_beta;
+    int location = 0;
+  };
+
+  QuantumNetwork network_;
+  Options options_;
+  Rng* rng_;
+  double now_s_ = 0.0;
+  Stats stats_;
+  std::map<std::string, ClassicalObject> classical_;
+  std::map<std::string, QuantumObject> quantum_;
+};
+
+}  // namespace qnet
+}  // namespace qdm
+
+#endif  // QDM_QNET_DISTRIBUTED_STORE_H_

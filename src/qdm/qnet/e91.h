@@ -1,0 +1,48 @@
+#ifndef QDM_QNET_E91_H_
+#define QDM_QNET_E91_H_
+
+#include "qdm/common/rng.h"
+
+namespace qdm {
+namespace qnet {
+
+/// Ekert-91 entanglement-based key distribution: the direct bridge between
+/// the paper's Sec IV-A (nonlocality, CHSH) and Sec IV-B (secure data
+/// management). Alice and Bob share Bell pairs (e.g. delivered by the
+/// repeater layer as Werner states of fidelity `pair_fidelity`); each round
+/// both measure in a random basis from the standard E91 sets
+///   Alice: {0, pi/4, pi/2},   Bob: {pi/4, pi/2, 3pi/4}  (X-Z plane angles).
+/// Rounds with equal angles yield key bits; the CHSH subset estimates the
+/// Bell statistic S. Any eavesdropping or decoherence drags S below the
+/// Tsirelson value 2*sqrt(2); at or below the classical bound 2 the key is
+/// not secret and the protocol aborts. Security is thus CERTIFIED BY
+/// NONLOCALITY rather than assumed.
+struct E91Config {
+  int num_pairs = 4096;
+  /// Werner fidelity of the delivered pairs (1.0 = ideal Bell pairs).
+  double pair_fidelity = 1.0;
+  /// Eve intercept-resends both halves in the Z basis.
+  bool eavesdropper = false;
+  /// Abort when the measured S falls to/below this (classical bound).
+  double s_threshold = 2.0;
+};
+
+struct E91Result {
+  /// Estimated CHSH statistic from the test rounds.
+  double s_value = 0.0;
+  int key_bits = 0;
+  /// Error rate between Alice's and Bob's key bits.
+  double qber = 0.0;
+  bool aborted = false;
+};
+
+E91Result RunE91(const E91Config& config, Rng* rng);
+
+/// Analytic S for Werner pairs with the E91 settings: S = w * 2 sqrt(2),
+/// with Werner parameter w = (4F - 1)/3. Used for validation.
+double ExpectedE91S(double pair_fidelity);
+
+}  // namespace qnet
+}  // namespace qdm
+
+#endif  // QDM_QNET_E91_H_

@@ -1,0 +1,46 @@
+#include "qdm/qnet/entanglement.h"
+
+#include <cmath>
+
+#include "qdm/common/check.h"
+
+namespace qdm {
+namespace qnet {
+
+double DecayedFidelity(double fidelity, double elapsed_s, double memory_t_s) {
+  QDM_CHECK_GE(elapsed_s, 0.0);
+  QDM_CHECK_GT(memory_t_s, 0.0);
+  const double w = (4.0 * fidelity - 1.0) / 3.0;
+  const double decayed = w * std::exp(-elapsed_s / memory_t_s);
+  return (1.0 + 3.0 * decayed) / 4.0;
+}
+
+double SwapFidelity(double f1, double f2) {
+  const double w1 = (4.0 * f1 - 1.0) / 3.0;
+  const double w2 = (4.0 * f2 - 1.0) / 3.0;
+  return (1.0 + 3.0 * w1 * w2) / 4.0;
+}
+
+double PurifyFidelity(double f1, double f2, double* success_probability) {
+  // BBPSSW on Werner states (Bennett et al. '96). Writing G = (1-F)/3 for
+  // the weight of each non-target Bell component:
+  //   p_success = F1 F2 + F1 G2 + G1 F2 + 5 G1 G2
+  //   F_out     = (F1 F2 + G1 G2) / p_success
+  const double g1 = (1.0 - f1) / 3.0;
+  const double g2 = (1.0 - f2) / 3.0;
+  const double p = f1 * f2 + f1 * g2 + g1 * f2 + 5.0 * g1 * g2;
+  QDM_CHECK_GT(p, 0.0);
+  if (success_probability != nullptr) *success_probability = p;
+  return (f1 * f2 + g1 * g2) / p;
+}
+
+bool AttemptPurification(EprPair* target, const EprPair& sacrifice, Rng* rng) {
+  double p = 0.0;
+  const double improved = PurifyFidelity(target->fidelity, sacrifice.fidelity, &p);
+  if (!rng->Bernoulli(p)) return false;
+  target->fidelity = improved;
+  return true;
+}
+
+}  // namespace qnet
+}  // namespace qdm

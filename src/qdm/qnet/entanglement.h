@@ -1,0 +1,45 @@
+#ifndef QDM_QNET_ENTANGLEMENT_H_
+#define QDM_QNET_ENTANGLEMENT_H_
+
+#include "qdm/common/rng.h"
+
+namespace qdm {
+namespace qnet {
+
+/// An entangled pair in the Werner-state model: the two-qubit state
+///   rho = w |Phi+><Phi+| + (1-w) I/4,
+/// parameterized here by its fidelity F = <Phi+|rho|Phi+> = (1+3w)/4.
+/// All protocol algebra (memory decay, swapping, purification, teleportation)
+/// has closed forms for Werner states; each one is validated against the
+/// exact density-matrix simulator in tests.
+struct EprPair {
+  double fidelity = 1.0;
+  /// Simulation time (seconds) when the pair was created.
+  double created_at_s = 0.0;
+
+  /// Werner parameter w = (4F - 1) / 3.
+  double werner() const { return (4.0 * fidelity - 1.0) / 3.0; }
+};
+
+/// Fidelity after `elapsed_s` seconds in imperfect quantum memory: the
+/// Werner parameter decays exponentially with time constant `memory_t_s`
+/// (depolarization toward the maximally mixed state, F -> 1/4).
+double DecayedFidelity(double fidelity, double elapsed_s, double memory_t_s);
+
+/// Entanglement swapping at a repeater (Fig. 1c): a Bell-state measurement
+/// fuses pairs A-R and R-B into A-B. For Werner inputs the output Werner
+/// parameter is the product w_out = w1 * w2.
+double SwapFidelity(double f1, double f2);
+
+/// One round of BBPSSW purification on two Werner pairs of fidelities f1,
+/// f2. On success (probability `*success_probability`) the surviving pair
+/// has the returned fidelity; on failure both pairs are lost.
+double PurifyFidelity(double f1, double f2, double* success_probability);
+
+/// Samples a purification round; returns true on success.
+bool AttemptPurification(EprPair* target, const EprPair& sacrifice, Rng* rng);
+
+}  // namespace qnet
+}  // namespace qdm
+
+#endif  // QDM_QNET_ENTANGLEMENT_H_

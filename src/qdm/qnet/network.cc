@@ -1,0 +1,153 @@
+#include "qdm/qnet/network.h"
+
+#include <algorithm>
+#include <limits>
+#include <queue>
+
+#include "qdm/common/check.h"
+#include "qdm/common/strings.h"
+
+namespace qdm {
+namespace qnet {
+
+namespace {
+std::pair<int, int> Key(int a, int b) { return {std::min(a, b), std::max(a, b)}; }
+}  // namespace
+
+int QuantumNetwork::AddNode(std::string name) {
+  node_names_.push_back(std::move(name));
+  return static_cast<int>(node_names_.size()) - 1;
+}
+
+const std::string& QuantumNetwork::node_name(int id) const {
+  QDM_CHECK(id >= 0 && id < num_nodes());
+  return node_names_[id];
+}
+
+Status QuantumNetwork::AddLink(int a, int b, FiberLinkConfig config) {
+  if (a < 0 || a >= num_nodes() || b < 0 || b >= num_nodes() || a == b) {
+    return Status::InvalidArgument("bad link endpoints");
+  }
+  if (links_.count(Key(a, b))) {
+    return Status::AlreadyExists("link already present");
+  }
+  links_[Key(a, b)] = config;
+  return Status::Ok();
+}
+
+bool QuantumNetwork::HasLink(int a, int b) const {
+  return links_.count(Key(a, b)) > 0;
+}
+
+Status QuantumNetwork::SetLinkUp(int a, int b, bool up) {
+  if (!HasLink(a, b)) return Status::NotFound("no such link");
+  if (up) {
+    down_.erase(Key(a, b));
+  } else {
+    down_.insert(Key(a, b));
+  }
+  return Status::Ok();
+}
+
+const FiberLinkConfig* QuantumNetwork::LinkConfig(int a, int b) const {
+  auto it = links_.find(Key(a, b));
+  return it == links_.end() ? nullptr : &it->second;
+}
+
+Result<std::vector<int>> QuantumNetwork::Route(int a, int b) const {
+  if (a < 0 || a >= num_nodes() || b < 0 || b >= num_nodes()) {
+    return Status::InvalidArgument("bad route endpoints");
+  }
+  if (a == b) return std::vector<int>{a};
+
+  const double kInf = std::numeric_limits<double>::infinity();
+  std::vector<double> dist(num_nodes(), kInf);
+  std::vector<int> prev(num_nodes(), -1);
+  using Entry = std::pair<double, int>;
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<Entry>> queue;
+  dist[a] = 0.0;
+  queue.push({0.0, a});
+  while (!queue.empty()) {
+    auto [d, u] = queue.top();
+    queue.pop();
+    if (d > dist[u]) continue;
+    for (const auto& [key, config] : links_) {
+      int v = -1;
+      if (key.first == u) v = key.second;
+      if (key.second == u) v = key.first;
+      if (v < 0 || down_.count(key)) continue;
+      const double nd = d + config.length_km;
+      if (nd < dist[v]) {
+        dist[v] = nd;
+        prev[v] = u;
+        queue.push({nd, v});
+      }
+    }
+  }
+  if (dist[b] == kInf) {
+    return Status::NotFound(StrFormat("no operational path %s -> %s",
+                                      node_name(a).c_str(),
+                                      node_name(b).c_str()));
+  }
+  std::vector<int> route;
+  for (int at = b; at != -1; at = prev[at]) route.push_back(at);
+  std::reverse(route.begin(), route.end());
+  return route;
+}
+
+double QuantumNetwork::RouteLength(const std::vector<int>& route) const {
+  double total = 0.0;
+  for (size_t i = 0; i + 1 < route.size(); ++i) {
+    const FiberLinkConfig* config = LinkConfig(route[i], route[i + 1]);
+    QDM_CHECK(config != nullptr);
+    total += config->length_km;
+  }
+  return total;
+}
+
+Result<EprPair> QuantumNetwork::DistributeEntanglement(
+    const std::vector<int>& route, double memory_t_s, double swap_success,
+    double* now_s, Rng* rng) const {
+  if (route.size() < 2) {
+    return Status::InvalidArgument("route must span at least one link");
+  }
+  for (size_t i = 0; i + 1 < route.size(); ++i) {
+    if (!HasLink(route[i], route[i + 1]) ||
+        down_.count(Key(route[i], route[i + 1]))) {
+      return Status::FailedPrecondition("route contains a down link");
+    }
+  }
+
+  // Retry full-route attempts until every swap succeeds.
+  while (true) {
+    std::vector<EprPair> pairs;
+    double ready_at = *now_s;
+    for (size_t i = 0; i + 1 < route.size(); ++i) {
+      const FiberLink link(*LinkConfig(route[i], route[i + 1]));
+      pairs.push_back(link.GenerateEntanglement(*now_s, rng));
+      ready_at = std::max(ready_at, pairs.back().created_at_s);
+    }
+    double f = DecayedFidelity(pairs[0].fidelity,
+                               ready_at - pairs[0].created_at_s, memory_t_s);
+    bool ok = true;
+    for (size_t i = 1; i < pairs.size(); ++i) {
+      const double fi = DecayedFidelity(
+          pairs[i].fidelity, ready_at - pairs[i].created_at_s, memory_t_s);
+      if (!rng->Bernoulli(swap_success)) {
+        ok = false;
+        break;
+      }
+      f = SwapFidelity(f, fi);
+    }
+    *now_s = ready_at;
+    if (ok) {
+      EprPair out;
+      out.fidelity = f;
+      out.created_at_s = ready_at;
+      return out;
+    }
+  }
+}
+
+}  // namespace qnet
+}  // namespace qdm

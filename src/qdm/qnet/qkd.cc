@@ -1,0 +1,116 @@
+#include "qdm/qnet/qkd.h"
+
+#include <cmath>
+
+#include "qdm/circuit/circuit.h"
+#include "qdm/common/check.h"
+#include "qdm/sim/statevector.h"
+
+namespace qdm {
+namespace qnet {
+
+double BinaryEntropy(double p) {
+  if (p <= 0.0 || p >= 1.0) return 0.0;
+  return -p * std::log2(p) - (1 - p) * std::log2(1 - p);
+}
+
+namespace {
+
+using circuit::GateKind;
+using circuit::SingleQubitMatrix;
+
+/// Prepares bit `b` in basis `basis` (0 = Z: |0>/|1>, 1 = X: |+>/|->).
+sim::Statevector PrepareBb84State(int bit, int basis) {
+  sim::Statevector sv(1);
+  if (bit) sv.Apply1Q(SingleQubitMatrix(GateKind::kX, {}), 0);
+  if (basis) sv.Apply1Q(SingleQubitMatrix(GateKind::kH, {}), 0);
+  return sv;
+}
+
+/// Measures in basis `basis`; collapses.
+int MeasureBb84(sim::Statevector* sv, int basis, Rng* rng) {
+  if (basis) sv->Apply1Q(SingleQubitMatrix(GateKind::kH, {}), 0);
+  return sv->MeasureQubit(0, rng);
+}
+
+/// Channel noise: independent X and Z flips with probability e each. In the
+/// Z basis only the X flip is visible, in the X basis only the Z flip, so
+/// the observable bit-error rate is e in either preparation basis.
+void ApplyChannelNoise(sim::Statevector* sv, double error, Rng* rng) {
+  if (rng->Bernoulli(error)) {
+    sv->Apply1Q(SingleQubitMatrix(GateKind::kX, {}), 0);
+  }
+  if (rng->Bernoulli(error)) {
+    sv->Apply1Q(SingleQubitMatrix(GateKind::kZ, {}), 0);
+  }
+}
+
+}  // namespace
+
+Bb84Result RunBb84(const Bb84Config& config, Rng* rng) {
+  QDM_CHECK_GT(config.num_raw_bits, 0);
+  Bb84Result result;
+
+  std::vector<int> alice_sifted, bob_sifted;
+  for (int i = 0; i < config.num_raw_bits; ++i) {
+    const int alice_bit = rng->Bernoulli(0.5) ? 1 : 0;
+    const int alice_basis = rng->Bernoulli(0.5) ? 1 : 0;
+    sim::Statevector qubit = PrepareBb84State(alice_bit, alice_basis);
+
+    ApplyChannelNoise(&qubit, config.channel_error, rng);
+
+    if (config.eavesdropper) {
+      // Intercept-resend: Eve measures in a random basis and sends her
+      // result onward, collapsing the state.
+      const int eve_basis = rng->Bernoulli(0.5) ? 1 : 0;
+      const int eve_bit = MeasureBb84(&qubit, eve_basis, rng);
+      qubit = PrepareBb84State(eve_bit, eve_basis);
+    }
+
+    const int bob_basis = rng->Bernoulli(0.5) ? 1 : 0;
+    const int bob_bit = MeasureBb84(&qubit, bob_basis, rng);
+
+    if (alice_basis == bob_basis) {
+      alice_sifted.push_back(alice_bit);
+      bob_sifted.push_back(bob_bit);
+    }
+  }
+
+  result.sifted_bits = static_cast<int>(alice_sifted.size());
+  if (result.sifted_bits == 0) {
+    result.aborted = true;
+    return result;
+  }
+
+  // Sacrifice a random sample to estimate the QBER.
+  int sample_errors = 0, sample_size = 0;
+  int key_errors = 0, key_size = 0;
+  for (size_t i = 0; i < alice_sifted.size(); ++i) {
+    if (rng->Bernoulli(config.sample_fraction)) {
+      ++sample_size;
+      if (alice_sifted[i] != bob_sifted[i]) ++sample_errors;
+    } else {
+      ++key_size;
+      if (alice_sifted[i] != bob_sifted[i]) ++key_errors;
+      result.key.push_back(alice_sifted[i]);
+    }
+  }
+  result.estimated_qber =
+      sample_size > 0 ? static_cast<double>(sample_errors) / sample_size : 0.0;
+  result.actual_error_rate =
+      key_size > 0 ? static_cast<double>(key_errors) / key_size : 0.0;
+
+  if (result.estimated_qber > config.abort_qber) {
+    result.aborted = true;
+    result.key.clear();
+    result.secure_key_bits = 0.0;
+    return result;
+  }
+  const double secret_fraction =
+      std::max(0.0, 1.0 - 2.0 * BinaryEntropy(result.estimated_qber));
+  result.secure_key_bits = key_size * secret_fraction;
+  return result;
+}
+
+}  // namespace qnet
+}  // namespace qdm

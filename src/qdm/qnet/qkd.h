@@ -1,0 +1,51 @@
+#ifndef QDM_QNET_QKD_H_
+#define QDM_QNET_QKD_H_
+
+#include <vector>
+
+#include "qdm/common/rng.h"
+
+namespace qdm {
+namespace qnet {
+
+/// BB84 quantum key distribution (the secure-communication primitive of
+/// Sec IV-B, Bennett & Brassard '84). Each raw bit is an actual single-qubit
+/// simulation: Alice prepares |0>/|1>/|+>/|-> per her bit and basis, the
+/// channel depolarizes, an optional eavesdropper intercept-resends, Bob
+/// measures in a random basis. Sifting keeps matching-basis rounds; a sample
+/// of sifted bits estimates the QBER; the protocol aborts above
+/// `abort_qber`.
+struct Bb84Config {
+  int num_raw_bits = 4096;
+  /// Physical channel error rate (bit-flip probability in the chosen basis).
+  double channel_error = 0.01;
+  /// Eve performs intercept-resend on every qubit (induces ~25% QBER).
+  bool eavesdropper = false;
+  /// Fraction of sifted bits sacrificed to estimate the QBER.
+  double sample_fraction = 0.3;
+  /// Abort threshold (the standard BB84 hard limit is ~11%).
+  double abort_qber = 0.11;
+};
+
+struct Bb84Result {
+  int sifted_bits = 0;
+  double estimated_qber = 0.0;
+  /// True error rate on the non-sampled sifted key (for validation).
+  double actual_error_rate = 0.0;
+  bool aborted = false;
+  /// Asymptotic secure bits: sifted * (1 - 2 h2(QBER)), 0 when aborted.
+  double secure_key_bits = 0.0;
+  /// The agreed key (Alice's view, after removing sampled bits); empty when
+  /// aborted.
+  std::vector<int> key;
+};
+
+/// Binary entropy h2(p).
+double BinaryEntropy(double p);
+
+Bb84Result RunBb84(const Bb84Config& config, Rng* rng);
+
+}  // namespace qnet
+}  // namespace qdm
+
+#endif  // QDM_QNET_QKD_H_

@@ -1,0 +1,55 @@
+#include "qdm/qnet/qubit.h"
+
+#include <cmath>
+
+#include "qdm/common/rng.h"
+
+namespace qdm {
+namespace qnet {
+
+Qubit::Qubit(Complex alpha, Complex beta) : alpha_(alpha), beta_(beta) {
+  const double norm = std::norm(alpha) + std::norm(beta);
+  QDM_CHECK(std::abs(norm - 1.0) < 1e-9) << "qubit state must be normalized";
+}
+
+Qubit Qubit::FromAngles(double theta, double phi) {
+  return Qubit(Complex(std::cos(theta / 2), 0),
+               std::polar(std::sin(theta / 2), phi));
+}
+
+Qubit::Qubit(Qubit&& other) noexcept
+    : alpha_(other.alpha_), beta_(other.beta_), consumed_(other.consumed_) {
+  other.consumed_ = true;  // The moved-from handle no longer owns a state.
+}
+
+Qubit& Qubit::operator=(Qubit&& other) noexcept {
+  alpha_ = other.alpha_;
+  beta_ = other.beta_;
+  consumed_ = other.consumed_;
+  other.consumed_ = true;
+  return *this;
+}
+
+double Qubit::FidelityWith(Complex a, Complex b) const {
+  QDM_CHECK(!consumed_) << "qubit was consumed (no-cloning!)";
+  const Complex overlap = std::conj(a) * alpha_ + std::conj(b) * beta_;
+  return std::norm(overlap);
+}
+
+void Qubit::ApplyUnitary(const linalg::Matrix& u) {
+  QDM_CHECK(!consumed_) << "qubit was consumed (no-cloning!)";
+  QDM_CHECK(u.rows() == 2 && u.cols() == 2);
+  const Complex a = u(0, 0) * alpha_ + u(0, 1) * beta_;
+  const Complex b = u(1, 0) * alpha_ + u(1, 1) * beta_;
+  alpha_ = a;
+  beta_ = b;
+}
+
+int Qubit::Measure(Rng* rng) && {
+  QDM_CHECK(!consumed_) << "qubit was consumed (no-cloning!)";
+  consumed_ = true;
+  return rng->Bernoulli(std::norm(beta_)) ? 1 : 0;
+}
+
+}  // namespace qnet
+}  // namespace qdm

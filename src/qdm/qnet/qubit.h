@@ -1,0 +1,70 @@
+#ifndef QDM_QNET_QUBIT_H_
+#define QDM_QNET_QUBIT_H_
+
+#include <utility>
+
+#include "qdm/common/check.h"
+#include "qdm/common/rng.h"
+#include "qdm/linalg/matrix.h"
+
+namespace qdm {
+namespace qnet {
+
+/// A physical qubit payload travelling through the quantum internet: a pure
+/// single-qubit state alpha|0> + beta|1>.
+///
+/// The type is MOVE-ONLY. This is the no-cloning theorem of Sec IV-B made
+/// into an API contract: quantum data cannot be copied, only moved
+/// (teleported) -- attempting to copy a Qubit is a compile error, and the
+/// distributed store below therefore supports replication only for classical
+/// payloads. A consumed (teleported/measured) qubit traps further use.
+class Qubit {
+ public:
+  Qubit(Complex alpha, Complex beta);
+
+  /// |psi> = |0>.
+  static Qubit Zero() { return Qubit(Complex(1, 0), Complex(0, 0)); }
+  /// |psi> = cos(theta/2)|0> + sin(theta/2)|1> with relative phase phi.
+  static Qubit FromAngles(double theta, double phi);
+
+  // No-cloning: copying is forbidden; moving transfers ownership and leaves
+  // the source consumed.
+  Qubit(const Qubit&) = delete;
+  Qubit& operator=(const Qubit&) = delete;
+  Qubit(Qubit&& other) noexcept;
+  Qubit& operator=(Qubit&& other) noexcept;
+
+  bool consumed() const { return consumed_; }
+
+  Complex alpha() const {
+    QDM_CHECK(!consumed_) << "qubit was consumed (no-cloning!)";
+    return alpha_;
+  }
+  Complex beta() const {
+    QDM_CHECK(!consumed_) << "qubit was consumed (no-cloning!)";
+    return beta_;
+  }
+
+  /// |<this|other>|^2 against a reference pure state (a, b).
+  double FidelityWith(Complex a, Complex b) const;
+
+  /// Applies a single-qubit unitary in place.
+  void ApplyUnitary(const linalg::Matrix& u);
+
+  /// Destructively measures in the Z basis; consumes the qubit.
+  int Measure(Rng* rng) &&;
+
+  /// Marks the qubit consumed (used by teleportation, which destroys the
+  /// source state as the no-cloning theorem demands).
+  void Consume() { consumed_ = true; }
+
+ private:
+  Complex alpha_;
+  Complex beta_;
+  bool consumed_ = false;
+};
+
+}  // namespace qnet
+}  // namespace qdm
+
+#endif  // QDM_QNET_QUBIT_H_

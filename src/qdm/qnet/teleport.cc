@@ -1,0 +1,80 @@
+#include "qdm/qnet/teleport.h"
+
+#include <cmath>
+
+#include "qdm/circuit/circuit.h"
+#include "qdm/common/check.h"
+#include "qdm/sim/statevector.h"
+
+namespace qdm {
+namespace qnet {
+
+TeleportResult Teleport(Qubit&& payload, const EprPair& pair,
+                        double distance_km, Rng* rng,
+                        double classical_speed_km_s) {
+  QDM_CHECK(!payload.consumed()) << "cannot teleport a consumed qubit";
+  const Complex alpha = payload.alpha();
+  const Complex beta = payload.beta();
+  payload.Consume();  // The sender's state is destroyed by the BSM.
+
+  Qubit received(alpha, beta);
+  const double w = pair.werner();
+  if (!rng->Bernoulli(std::max(0.0, w))) {
+    // Depolarized: apply a uniformly random Pauli (I, X, Y, Z), which
+    // averages to the maximally mixed state.
+    const int pauli = static_cast<int>(rng->UniformInt(0, 3));
+    using circuit::GateKind;
+    const GateKind kinds[4] = {GateKind::kI, GateKind::kX, GateKind::kY,
+                               GateKind::kZ};
+    received.ApplyUnitary(circuit::SingleQubitMatrix(kinds[pauli], {}));
+  }
+
+  TeleportResult result{std::move(received),
+                        distance_km / classical_speed_km_s};
+  return result;
+}
+
+double AverageTeleportFidelity(double pair_fidelity) {
+  return (2.0 * pair_fidelity + 1.0) / 3.0;
+}
+
+double TeleportCircuitFidelity(Complex alpha, Complex beta, Rng* rng) {
+  // Qubits: 0 = payload, 1 = Alice's half, 2 = Bob's half.
+  sim::Statevector sv = sim::Statevector::FromAmplitudes([&] {
+    std::vector<Complex> amps(8, Complex(0, 0));
+    amps[0] = alpha;  // |q0=alpha/beta> (x) |00>
+    amps[1] = beta;
+    return amps;
+  }());
+
+  circuit::Circuit bell(3);
+  bell.H(1).CX(1, 2);
+  sv.ApplyCircuit(bell);
+
+  // Alice's Bell-state measurement basis change.
+  circuit::Circuit bsm(3);
+  bsm.CX(0, 1).H(0);
+  sv.ApplyCircuit(bsm);
+
+  const int m0 = sv.MeasureQubit(0, rng);
+  const int m1 = sv.MeasureQubit(1, rng);
+
+  // Bob's corrections: X^m1 then Z^m0.
+  if (m1) {
+    sv.Apply1Q(circuit::SingleQubitMatrix(circuit::GateKind::kX, {}), 2);
+  }
+  if (m0) {
+    sv.Apply1Q(circuit::SingleQubitMatrix(circuit::GateKind::kZ, {}), 2);
+  }
+
+  // Compare Bob's qubit with the original payload. After measurement of
+  // qubits 0 and 1 the state is a product; extract qubit 2's amplitudes.
+  const uint64_t base = static_cast<uint64_t>(m0) | (static_cast<uint64_t>(m1) << 1);
+  const Complex b0 = sv.amplitude(base);
+  const Complex b1 = sv.amplitude(base | 4);
+  const Complex overlap = std::conj(alpha) * b0 + std::conj(beta) * b1;
+  return std::norm(overlap);
+}
+
+}  // namespace qnet
+}  // namespace qdm

@@ -1,0 +1,41 @@
+#ifndef QDM_QNET_TELEPORT_H_
+#define QDM_QNET_TELEPORT_H_
+
+#include "qdm/common/rng.h"
+#include "qdm/qnet/entanglement.h"
+#include "qdm/qnet/qubit.h"
+
+namespace qdm {
+namespace qnet {
+
+struct TeleportResult {
+  /// The qubit as it materializes at the receiver.
+  Qubit received;
+  /// Classical signalling delay (two bits over `distance_km`).
+  double classical_latency_s = 0.0;
+};
+
+/// Quantum teleportation (Fig. 1c): consumes the payload qubit AND one EPR
+/// pair; the payload re-appears at the far node after the two classical
+/// correction bits arrive. Through a Werner pair of fidelity F the channel
+/// acts as a depolarizing channel with parameter w = (4F-1)/3: with
+/// probability w the state arrives intact, otherwise it is replaced by a
+/// uniformly random Pauli corruption (averaging to the maximally mixed
+/// state). The source handle is consumed -- the no-cloning theorem in
+/// action: after Teleport() the sender provably holds nothing.
+TeleportResult Teleport(Qubit&& payload, const EprPair& pair,
+                        double distance_km, Rng* rng,
+                        double classical_speed_km_s = 2.0e5);
+
+/// Average teleportation fidelity through a Werner pair: (2F + 1) / 3.
+double AverageTeleportFidelity(double pair_fidelity);
+
+/// Gate-level teleportation on the 3-qubit simulator (payload + perfect
+/// Bell pair), validating the protocol circuit itself: returns the fidelity
+/// of the receiver qubit with the original payload (1.0 for a perfect pair).
+double TeleportCircuitFidelity(Complex alpha, Complex beta, Rng* rng);
+
+}  // namespace qnet
+}  // namespace qdm
+
+#endif  // QDM_QNET_TELEPORT_H_

@@ -1,0 +1,74 @@
+#ifndef QDM_QOPT_BILP_H_
+#define QDM_QOPT_BILP_H_
+
+#include <string>
+#include <vector>
+
+#include "qdm/anneal/qubo.h"
+#include "qdm/common/status.h"
+#include "qdm/qopt/schema_matching.h"
+#include "qdm/qopt/txn_scheduling.h"
+
+namespace qdm {
+namespace qopt {
+
+/// Binary Integer Linear Program: minimize c^T x subject to row constraints
+/// A_i x (<= | == | >=) b_i with x in {0,1}^n. This is the intermediate
+/// formulation layer of the paper's Table I: Schonberger et al. [23, 24] go
+/// DB problem -> MILP -> BILP -> QUBO; this module provides the BILP model,
+/// an exact branch-and-bound solver (the classical reference), and the
+/// BILP -> QUBO transformation with binary-expanded slack variables.
+struct BilpConstraint {
+  enum class Relation { kLessEq, kEq, kGreaterEq };
+
+  std::vector<double> coefficients;  // One per variable (dense).
+  Relation relation = Relation::kLessEq;
+  double bound = 0.0;
+};
+
+struct BilpProblem {
+  int num_variables = 0;
+  std::vector<double> objective;
+  std::vector<BilpConstraint> constraints;
+
+  double Objective(const anneal::Assignment& x) const;
+  bool IsFeasible(const anneal::Assignment& x) const;
+};
+
+struct BilpSolution {
+  anneal::Assignment assignment;
+  double objective = 0.0;
+  bool feasible = false;
+  int64_t nodes_explored = 0;
+};
+
+/// Exact depth-first branch & bound with objective and per-constraint
+/// reachability pruning. Exponential worst case; intended for the instance
+/// sizes of the surveyed papers (<= ~30 variables).
+BilpSolution SolveBilpBranchAndBound(const BilpProblem& problem);
+
+/// Penalty transformation to QUBO:
+///   * equality rows add penalty * (A_i x - b_i)^2;
+///   * inequality rows get an integer slack in binary expansion
+///     (requires integer coefficients and bounds on those rows), turning
+///     A_i x + s = b_i (for <=) into an equality penalty.
+/// The QUBO's first `problem.num_variables` variables are the decision
+/// variables; slack bits follow. With penalty <= 0 a safe value is derived.
+Result<anneal::Qubo> BilpToQubo(const BilpProblem& problem, double penalty = 0.0);
+
+// -- Table-I applications ----------------------------------------------------
+
+/// Schema matching as BILP: maximize total similarity (min negative) under
+/// at-most-one row/column constraints.
+BilpProblem SchemaMatchingToBilp(const SchemaMatchingProblem& problem);
+
+/// Transaction scheduling as BILP: exactly-one slot per transaction;
+/// conflicting transactions must not share a slot (x_as + x_bs <= 1);
+/// objective compresses the makespan via per-slot weights.
+BilpProblem TxnScheduleToBilp(const TxnScheduleProblem& problem,
+                              double slot_weight = 1.0);
+
+}  // namespace qopt
+}  // namespace qdm
+
+#endif  // QDM_QOPT_BILP_H_

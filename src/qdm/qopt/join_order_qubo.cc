@@ -1,0 +1,159 @@
+#include "qdm/qopt/join_order_qubo.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "qdm/common/check.h"
+
+namespace qdm {
+namespace qopt {
+
+namespace {
+
+/// Contribution multiplicity: the term x_{a,s'} (or the pair with larger
+/// position s') appears in every prefix sum s in [max(s',1), n-1].
+int PrefixMultiplicity(int position, int n) {
+  return n - std::max(position, 1);
+}
+
+}  // namespace
+
+JoinOrderQubo::JoinOrderQubo(const db::JoinGraph& graph, double penalty)
+    : n_(graph.num_relations()), penalty_(penalty), qubo_(std::max(1, n_ * n_)) {
+  QDM_CHECK_GE(n_, 2);
+
+  // Log weights.
+  std::vector<double> log_card(n_);
+  for (int r = 0; r < n_; ++r) {
+    log_card[r] = std::log(graph.relations()[r].cardinality);
+  }
+
+  if (penalty_ <= 0.0) {
+    // Upper bound on the objective magnitude: every relation in every prefix
+    // plus every selectivity in every prefix.
+    double bound = 1.0;
+    for (int r = 0; r < n_; ++r) bound += std::abs(log_card[r]) * (n_ - 1);
+    for (const db::JoinEdge& e : graph.edges()) {
+      bound += std::abs(std::log(e.selectivity)) * (n_ - 1);
+    }
+    penalty_ = bound;
+  }
+
+  // Objective, linear part: log|R_r| * (n - max(s,1)) for x_{r,s}.
+  for (int r = 0; r < n_; ++r) {
+    for (int s = 0; s < n_; ++s) {
+      qubo_.AddLinear(VarIndex(r, s), log_card[r] * PrefixMultiplicity(s, n_));
+    }
+  }
+  // Objective, quadratic part: log(sel_ab) * (n - max(s_a, s_b, 1)) for
+  // x_{a,s_a} x_{b,s_b}.
+  for (const db::JoinEdge& e : graph.edges()) {
+    const double w = std::log(e.selectivity);
+    if (w == 0.0) continue;
+    for (int sa = 0; sa < n_; ++sa) {
+      for (int sb = 0; sb < n_; ++sb) {
+        qubo_.AddQuadratic(VarIndex(e.a, sa), VarIndex(e.b, sb),
+                           w * PrefixMultiplicity(std::max(sa, sb), n_));
+      }
+    }
+  }
+
+  // Permutation constraints.
+  for (int s = 0; s < n_; ++s) {
+    std::vector<int> position_vars;
+    for (int r = 0; r < n_; ++r) position_vars.push_back(VarIndex(r, s));
+    qubo_.AddExactlyOnePenalty(position_vars, penalty_);
+  }
+  for (int r = 0; r < n_; ++r) {
+    std::vector<int> relation_vars;
+    for (int s = 0; s < n_; ++s) relation_vars.push_back(VarIndex(r, s));
+    qubo_.AddExactlyOnePenalty(relation_vars, penalty_);
+  }
+}
+
+int JoinOrderQubo::VarIndex(int relation, int position) const {
+  QDM_CHECK(relation >= 0 && relation < n_);
+  QDM_CHECK(position >= 0 && position < n_);
+  return relation * n_ + position;
+}
+
+std::vector<int> JoinOrderQubo::Decode(
+    const anneal::Assignment& assignment) const {
+  QDM_CHECK_EQ(assignment.size(), static_cast<size_t>(num_variables()));
+  std::vector<int> order(n_, -1);
+  std::vector<int> used(n_, 0);
+  for (int s = 0; s < n_; ++s) {
+    int chosen = -1;
+    int count = 0;
+    for (int r = 0; r < n_; ++r) {
+      if (assignment[VarIndex(r, s)]) {
+        chosen = r;
+        ++count;
+      }
+    }
+    if (count != 1 || used[chosen]) return {};
+    order[s] = chosen;
+    used[chosen] = 1;
+  }
+  return order;
+}
+
+std::vector<int> JoinOrderQubo::DecodeWithRepair(
+    const anneal::Assignment& assignment) const {
+  QDM_CHECK_EQ(assignment.size(), static_cast<size_t>(num_variables()));
+  std::vector<int> order(n_, -1);
+  std::vector<bool> used(n_, false);
+  for (int s = 0; s < n_; ++s) {
+    // Prefer a relation actually selected at this position; fall back to the
+    // first unused relation.
+    int chosen = -1;
+    for (int r = 0; r < n_; ++r) {
+      if (!used[r] && assignment[VarIndex(r, s)]) {
+        chosen = r;
+        break;
+      }
+    }
+    if (chosen == -1) {
+      for (int r = 0; r < n_; ++r) {
+        if (!used[r]) {
+          chosen = r;
+          break;
+        }
+      }
+    }
+    order[s] = chosen;
+    used[chosen] = true;
+  }
+  return order;
+}
+
+double LogCostProxy(const std::vector<int>& order, const db::JoinGraph& graph) {
+  QDM_CHECK_EQ(order.size(), static_cast<size_t>(graph.num_relations()));
+  double total = 0.0;
+  uint32_t mask = uint32_t{1} << order[0];
+  for (size_t s = 1; s < order.size(); ++s) {
+    mask |= uint32_t{1} << order[s];
+    total += std::log(graph.SubsetCardinality(mask));
+  }
+  return total;
+}
+
+std::vector<int> OptimalOrderUnderProxy(const db::JoinGraph& graph) {
+  const int n = graph.num_relations();
+  QDM_CHECK_LE(n, 9) << "exhaustive permutation search";
+  std::vector<int> order(n);
+  for (int i = 0; i < n; ++i) order[i] = i;
+  std::vector<int> best = order;
+  double best_cost = LogCostProxy(order, graph);
+  while (std::next_permutation(order.begin(), order.end())) {
+    const double cost = LogCostProxy(order, graph);
+    if (cost < best_cost) {
+      best_cost = cost;
+      best = order;
+    }
+  }
+  return best;
+}
+
+}  // namespace qopt
+}  // namespace qdm

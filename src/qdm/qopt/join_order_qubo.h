@@ -1,0 +1,64 @@
+#ifndef QDM_QOPT_JOIN_ORDER_QUBO_H_
+#define QDM_QOPT_JOIN_ORDER_QUBO_H_
+
+#include <vector>
+
+#include "qdm/anneal/qubo.h"
+#include "qdm/common/rng.h"
+#include "qdm/db/join_graph.h"
+
+namespace qdm {
+namespace qopt {
+
+/// Left-deep join ordering as a QUBO, following the permutation-matrix
+/// encodings of Schonberger et al. [SIGMOD'22, SIGMOD'23] / Trummer & Koch's
+/// MILP [SIGMOD'17]:
+///
+///   Variables x_{r,s} = "relation r is joined at position s" (n^2 binaries).
+///   Constraints (penalty): each position holds exactly one relation and
+///   each relation occupies exactly one position.
+///   Objective (quadratic exactly, no approximation of the *proxy*): the sum
+///   over prefixes s >= 1 of the LOG-cardinality of the prefix,
+///     sum_s [ sum_r log|R_r| placed(r,<=s) + sum_{(a,b)} log sel_ab
+///             placed(a,<=s) placed(b,<=s) ],
+///   i.e. minimizing the geometric mean of intermediate sizes instead of
+///   C_out's arithmetic sum -- the standard trick that keeps the objective
+///   quadratic in x (log of a product is a sum). The proxy-vs-C_out gap is
+///   measured explicitly in bench_join_ordering.
+class JoinOrderQubo {
+ public:
+  explicit JoinOrderQubo(const db::JoinGraph& graph, double penalty = 0.0);
+
+  int num_relations() const { return n_; }
+  int num_variables() const { return n_ * n_; }
+  int VarIndex(int relation, int position) const;
+
+  const anneal::Qubo& qubo() const { return qubo_; }
+  double penalty() const { return penalty_; }
+
+  /// Strict decode: returns empty order when the assignment is not a valid
+  /// permutation.
+  std::vector<int> Decode(const anneal::Assignment& assignment) const;
+
+  /// Repairing decode: always returns a permutation (greedy max-score per
+  /// position, ties broken by relation id). Mirrors the "solution repair"
+  /// post-processing the hardware papers apply to broken samples.
+  std::vector<int> DecodeWithRepair(const anneal::Assignment& assignment) const;
+
+ private:
+  int n_;
+  double penalty_;
+  anneal::Qubo qubo_;
+};
+
+/// The encoding's objective for a concrete order: sum over prefixes of
+/// log-cardinality. Used to separate encoding quality from solver quality.
+double LogCostProxy(const std::vector<int>& order, const db::JoinGraph& graph);
+
+/// Best order under the log proxy by exhaustive permutation search (small n).
+std::vector<int> OptimalOrderUnderProxy(const db::JoinGraph& graph);
+
+}  // namespace qopt
+}  // namespace qdm
+
+#endif  // QDM_QOPT_JOIN_ORDER_QUBO_H_

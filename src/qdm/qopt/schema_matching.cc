@@ -1,0 +1,206 @@
+#include "qdm/qopt/schema_matching.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "qdm/common/check.h"
+#include "qdm/common/strings.h"
+
+namespace qdm {
+namespace qopt {
+
+int SchemaMatchingProblem::VarIndex(int source, int target) const {
+  QDM_CHECK(source >= 0 && source < num_source());
+  QDM_CHECK(target >= 0 && target < num_target());
+  return source * num_target() + target;
+}
+
+SchemaMatchingProblem GenerateSchemaMatching(int num_source, int num_target,
+                                             double noise, Rng* rng) {
+  QDM_CHECK_GE(num_source, 1);
+  QDM_CHECK_GE(num_target, 1);
+  SchemaMatchingProblem problem;
+  for (int i = 0; i < num_source; ++i) {
+    problem.source_attributes.push_back(StrFormat("s_attr%d", i));
+  }
+  for (int j = 0; j < num_target; ++j) {
+    problem.target_attributes.push_back(StrFormat("t_attr%d", j));
+  }
+
+  // Planted matching: source i <-> target perm[i] for the first min(n,m).
+  std::vector<int> perm(num_target);
+  for (int j = 0; j < num_target; ++j) perm[j] = j;
+  rng->Shuffle(&perm);
+
+  problem.similarity.assign(num_source, std::vector<double>(num_target, 0.0));
+  for (int i = 0; i < num_source; ++i) {
+    for (int j = 0; j < num_target; ++j) {
+      const bool planted = i < num_target && perm[i] == j && i < num_source;
+      double sim = planted ? rng->Uniform(0.7, 1.0) : rng->Uniform(0.0, 0.5);
+      sim += rng->Gaussian(0.0, noise);
+      problem.similarity[i][j] = std::clamp(sim, 0.0, 1.0);
+    }
+  }
+  return problem;
+}
+
+anneal::Qubo SchemaMatchingToQubo(const SchemaMatchingProblem& problem,
+                                  double penalty) {
+  if (penalty <= 0.0) {
+    double bound = 1.0;
+    for (const auto& row : problem.similarity) {
+      for (double s : row) bound += std::abs(s);
+    }
+    penalty = bound;
+  }
+  anneal::Qubo qubo(problem.num_variables());
+  for (int i = 0; i < problem.num_source(); ++i) {
+    for (int j = 0; j < problem.num_target(); ++j) {
+      qubo.AddLinear(problem.VarIndex(i, j), -problem.similarity[i][j]);
+    }
+  }
+  for (int i = 0; i < problem.num_source(); ++i) {
+    std::vector<int> row;
+    for (int j = 0; j < problem.num_target(); ++j) {
+      row.push_back(problem.VarIndex(i, j));
+    }
+    qubo.AddAtMostOnePenalty(row, penalty);
+  }
+  for (int j = 0; j < problem.num_target(); ++j) {
+    std::vector<int> col;
+    for (int i = 0; i < problem.num_source(); ++i) {
+      col.push_back(problem.VarIndex(i, j));
+    }
+    qubo.AddAtMostOnePenalty(col, penalty);
+  }
+  return qubo;
+}
+
+Matching DecodeMatching(const SchemaMatchingProblem& problem,
+                        const anneal::Assignment& assignment) {
+  QDM_CHECK_EQ(assignment.size(), static_cast<size_t>(problem.num_variables()));
+  Matching matching;
+  std::vector<int> source_used(problem.num_source(), 0);
+  std::vector<int> target_used(problem.num_target(), 0);
+  for (int i = 0; i < problem.num_source(); ++i) {
+    for (int j = 0; j < problem.num_target(); ++j) {
+      if (!assignment[problem.VarIndex(i, j)]) continue;
+      if (source_used[i] || target_used[j]) {
+        matching.feasible = false;
+        matching.pairs.clear();
+        matching.total_similarity = 0.0;
+        return matching;
+      }
+      source_used[i] = target_used[j] = 1;
+      matching.pairs.emplace_back(i, j);
+      matching.total_similarity += problem.similarity[i][j];
+    }
+  }
+  matching.feasible = true;
+  return matching;
+}
+
+Matching HungarianMatching(const SchemaMatchingProblem& problem) {
+  // Pad to a square min-cost assignment: cost = max_sim - sim, dummy cells
+  // cost max_sim (equivalent to similarity 0, i.e. "leave unmatched").
+  const int n = std::max(problem.num_source(), problem.num_target());
+  const double kMaxSim = 1.0;
+  std::vector<std::vector<double>> cost(n, std::vector<double>(n, kMaxSim));
+  for (int i = 0; i < problem.num_source(); ++i) {
+    for (int j = 0; j < problem.num_target(); ++j) {
+      cost[i][j] = kMaxSim - problem.similarity[i][j];
+    }
+  }
+
+  // O(n^3) Hungarian algorithm with potentials (1-indexed internals).
+  const double kInf = std::numeric_limits<double>::infinity();
+  std::vector<double> u(n + 1, 0.0), v(n + 1, 0.0);
+  std::vector<int> match_of_col(n + 1, 0);  // p[j]: row matched to column j.
+  std::vector<int> way(n + 1, 0);
+  for (int i = 1; i <= n; ++i) {
+    match_of_col[0] = i;
+    int j0 = 0;
+    std::vector<double> minv(n + 1, kInf);
+    std::vector<char> used(n + 1, false);
+    do {
+      used[j0] = true;
+      const int i0 = match_of_col[j0];
+      double delta = kInf;
+      int j1 = 0;
+      for (int j = 1; j <= n; ++j) {
+        if (used[j]) continue;
+        const double cur = cost[i0 - 1][j - 1] - u[i0] - v[j];
+        if (cur < minv[j]) {
+          minv[j] = cur;
+          way[j] = j0;
+        }
+        if (minv[j] < delta) {
+          delta = minv[j];
+          j1 = j;
+        }
+      }
+      for (int j = 0; j <= n; ++j) {
+        if (used[j]) {
+          u[match_of_col[j]] += delta;
+          v[j] -= delta;
+        } else {
+          minv[j] -= delta;
+        }
+      }
+      j0 = j1;
+    } while (match_of_col[j0] != 0);
+    do {
+      const int j1 = way[j0];
+      match_of_col[j0] = match_of_col[j1];
+      j0 = j1;
+    } while (j0);
+  }
+
+  Matching matching;
+  matching.feasible = true;
+  for (int j = 1; j <= n; ++j) {
+    const int i = match_of_col[j] - 1;
+    if (i < problem.num_source() && j - 1 < problem.num_target()) {
+      // Only count real (non-dummy) pairs that actually help.
+      if (problem.similarity[i][j - 1] > 0.0) {
+        matching.pairs.emplace_back(i, j - 1);
+        matching.total_similarity += problem.similarity[i][j - 1];
+      }
+    }
+  }
+  std::sort(matching.pairs.begin(), matching.pairs.end());
+  return matching;
+}
+
+Matching GreedyMatching(const SchemaMatchingProblem& problem) {
+  struct Cell {
+    double sim;
+    int i, j;
+  };
+  std::vector<Cell> cells;
+  for (int i = 0; i < problem.num_source(); ++i) {
+    for (int j = 0; j < problem.num_target(); ++j) {
+      if (problem.similarity[i][j] > 0.0) {
+        cells.push_back({problem.similarity[i][j], i, j});
+      }
+    }
+  }
+  std::sort(cells.begin(), cells.end(),
+            [](const Cell& a, const Cell& b) { return a.sim > b.sim; });
+  std::vector<int> source_used(problem.num_source(), 0);
+  std::vector<int> target_used(problem.num_target(), 0);
+  Matching matching;
+  matching.feasible = true;
+  for (const Cell& c : cells) {
+    if (source_used[c.i] || target_used[c.j]) continue;
+    source_used[c.i] = target_used[c.j] = 1;
+    matching.pairs.emplace_back(c.i, c.j);
+    matching.total_similarity += c.sim;
+  }
+  std::sort(matching.pairs.begin(), matching.pairs.end());
+  return matching;
+}
+
+}  // namespace qopt
+}  // namespace qdm

@@ -1,0 +1,60 @@
+#ifndef QDM_QOPT_SCHEMA_MATCHING_H_
+#define QDM_QOPT_SCHEMA_MATCHING_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "qdm/anneal/qubo.h"
+#include "qdm/common/rng.h"
+
+namespace qdm {
+namespace qopt {
+
+/// One-to-one schema matching instance, after Fritsch & Scherzinger
+/// [VLDB'23]: attributes of a source and a target schema with pairwise
+/// similarity scores; select a partial matching (at most one partner per
+/// attribute) maximizing total similarity.
+struct SchemaMatchingProblem {
+  std::vector<std::string> source_attributes;
+  std::vector<std::string> target_attributes;
+  /// similarity[i][j] in [0, 1] between source i and target j.
+  std::vector<std::vector<double>> similarity;
+
+  int num_source() const { return static_cast<int>(source_attributes.size()); }
+  int num_target() const { return static_cast<int>(target_attributes.size()); }
+  int num_variables() const { return num_source() * num_target(); }
+  int VarIndex(int source, int target) const;
+};
+
+/// Instance generator with a planted ground-truth matching: matched pairs get
+/// similarity ~ U[0.7, 1.0], unmatched pairs ~ U[0, 0.5] plus `noise`
+/// perturbation. The planted matching covers min(n_source, n_target) pairs.
+SchemaMatchingProblem GenerateSchemaMatching(int num_source, int num_target,
+                                             double noise, Rng* rng);
+
+/// QUBO: minimize -similarity[i][j] x_ij subject to at-most-one penalties per
+/// source row and target column.
+anneal::Qubo SchemaMatchingToQubo(const SchemaMatchingProblem& problem,
+                                  double penalty = 0.0);
+
+struct Matching {
+  std::vector<std::pair<int, int>> pairs;  // (source, target)
+  double total_similarity = 0.0;
+  bool feasible = false;
+};
+
+/// Strict decode: infeasible when an attribute is matched twice.
+Matching DecodeMatching(const SchemaMatchingProblem& problem,
+                        const anneal::Assignment& assignment);
+
+/// Optimal max-weight matching via the Hungarian algorithm (O(n^3)).
+Matching HungarianMatching(const SchemaMatchingProblem& problem);
+
+/// Greedy baseline: repeatedly picks the highest-similarity free pair.
+Matching GreedyMatching(const SchemaMatchingProblem& problem);
+
+}  // namespace qopt
+}  // namespace qdm
+
+#endif  // QDM_QOPT_SCHEMA_MATCHING_H_

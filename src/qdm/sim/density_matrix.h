@@ -1,0 +1,69 @@
+#ifndef QDM_SIM_DENSITY_MATRIX_H_
+#define QDM_SIM_DENSITY_MATRIX_H_
+
+#include <vector>
+
+#include "qdm/linalg/matrix.h"
+#include "qdm/sim/statevector.h"
+
+namespace qdm {
+namespace sim {
+
+/// Exact density-matrix representation for SMALL systems (<= ~8 qubits).
+/// Serves as the reference semantics against which the trajectory simulator
+/// and the qnet Werner-state fidelity algebra are validated.
+class DensityMatrix {
+ public:
+  /// Maximally-mixed-free constructor: rho = |0..0><0..0|.
+  explicit DensityMatrix(int num_qubits);
+
+  static DensityMatrix FromStatevector(const Statevector& sv);
+
+  /// Two-qubit Werner state: F |Phi+><Phi+| + (1-F)/3 (I - |Phi+><Phi+|).
+  /// `fidelity` is the overlap with the Bell state Phi+ = (|00>+|11>)/sqrt(2).
+  static DensityMatrix WernerState(double fidelity);
+
+  int num_qubits() const { return num_qubits_; }
+  size_t dimension() const { return rho_.rows(); }
+  const linalg::Matrix& matrix() const { return rho_; }
+
+  /// rho -> U rho U^dagger with a full-dimension unitary.
+  void ApplyUnitary(const linalg::Matrix& u);
+
+  /// rho -> sum_k K rho K^dagger with full-dimension Kraus operators.
+  void ApplyKraus(const std::vector<linalg::Matrix>& kraus);
+
+  /// Applies a single-qubit channel (2x2 Kraus operators) to qubit q.
+  void ApplyKraus1Q(const std::vector<linalg::Matrix>& kraus, int q);
+
+  /// Applies a single-qubit unitary to qubit q.
+  void ApplyUnitary1Q(const linalg::Matrix& u, int q);
+
+  /// <psi| rho |psi>.
+  double FidelityWithPure(const Statevector& psi) const;
+
+  /// Tr(rho^2); 1 for pure states.
+  double Purity() const;
+
+  /// Traces out the qubits NOT listed in `keep` (keep is sorted ascending);
+  /// remaining qubits are re-indexed in the order given.
+  DensityMatrix PartialTrace(const std::vector<int>& keep) const;
+
+  /// Probability that qubit q measures 1.
+  double ProbabilityOfOne(int q) const;
+
+ private:
+  DensityMatrix(int num_qubits, linalg::Matrix rho)
+      : num_qubits_(num_qubits), rho_(std::move(rho)) {}
+
+  /// Embeds a 2x2 operator on qubit q into the full dimension.
+  linalg::Matrix Embed1Q(const linalg::Matrix& op, int q) const;
+
+  int num_qubits_;
+  linalg::Matrix rho_;
+};
+
+}  // namespace sim
+}  // namespace qdm
+
+#endif  // QDM_SIM_DENSITY_MATRIX_H_

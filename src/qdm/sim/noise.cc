@@ -1,0 +1,99 @@
+#include "qdm/sim/noise.h"
+
+#include <cmath>
+
+#include "qdm/common/check.h"
+
+namespace qdm {
+namespace sim {
+
+void TrajectorySimulator::MaybeApplyPauli(Statevector* sv, int qubit, double p,
+                                          Rng* rng) const {
+  if (p <= 0.0 || !rng->Bernoulli(p)) return;
+  using circuit::GateKind;
+  const GateKind paulis[3] = {GateKind::kX, GateKind::kY, GateKind::kZ};
+  const GateKind chosen = paulis[rng->UniformInt(0, 2)];
+  sv->Apply1Q(circuit::SingleQubitMatrix(chosen, {}), qubit);
+}
+
+Statevector TrajectorySimulator::RunTrajectory(const circuit::Circuit& c,
+                                               Rng* rng) const {
+  Statevector sv(c.num_qubits());
+  for (const circuit::Gate& gate : c.gates()) {
+    sv.ApplyGate(gate);
+    const double p = gate.qubits.size() == 1 ? model_.depolarizing_1q
+                                             : model_.depolarizing_2q;
+    for (int q : gate.qubits) MaybeApplyPauli(&sv, q, p, rng);
+  }
+  return sv;
+}
+
+std::map<uint64_t, int> TrajectorySimulator::Sample(const circuit::Circuit& c,
+                                                    int shots, Rng* rng) const {
+  std::map<uint64_t, int> counts;
+  if (model_.IsNoiseless()) {
+    // One exact state, many samples.
+    Statevector sv = RunCircuit(c);
+    for (int s = 0; s < shots; ++s) ++counts[sv.SampleBasisState(rng)];
+    return counts;
+  }
+  for (int s = 0; s < shots; ++s) {
+    Statevector sv = RunTrajectory(c, rng);
+    uint64_t outcome = sv.SampleBasisState(rng);
+    if (model_.readout_flip > 0.0) {
+      for (int q = 0; q < c.num_qubits(); ++q) {
+        if (rng->Bernoulli(model_.readout_flip)) outcome ^= uint64_t{1} << q;
+      }
+    }
+    ++counts[outcome];
+  }
+  return counts;
+}
+
+double TrajectorySimulator::AverageDiagonalExpectation(
+    const circuit::Circuit& c, const std::vector<double>& diagonal,
+    int trajectories, Rng* rng) const {
+  QDM_CHECK_GT(trajectories, 0);
+  if (model_.IsNoiseless()) {
+    return RunCircuit(c).ExpectationDiagonal(diagonal);
+  }
+  double total = 0.0;
+  for (int t = 0; t < trajectories; ++t) {
+    total += RunTrajectory(c, rng).ExpectationDiagonal(diagonal);
+  }
+  return total / trajectories;
+}
+
+std::vector<linalg::Matrix> DepolarizingKraus(double p) {
+  QDM_CHECK(p >= 0.0 && p <= 1.0);
+  using linalg::Matrix;
+  const double k0 = std::sqrt(1.0 - p);
+  const double kp = std::sqrt(p / 3.0);
+  Matrix i = circuit::SingleQubitMatrix(circuit::GateKind::kI, {});
+  Matrix x = circuit::SingleQubitMatrix(circuit::GateKind::kX, {});
+  Matrix y = circuit::SingleQubitMatrix(circuit::GateKind::kY, {});
+  Matrix z = circuit::SingleQubitMatrix(circuit::GateKind::kZ, {});
+  return {i * Complex(k0, 0), x * Complex(kp, 0), y * Complex(kp, 0),
+          z * Complex(kp, 0)};
+}
+
+std::vector<linalg::Matrix> AmplitudeDampingKraus(double gamma) {
+  QDM_CHECK(gamma >= 0.0 && gamma <= 1.0);
+  linalg::Matrix k0{{Complex(1, 0), Complex(0, 0)},
+                    {Complex(0, 0), Complex(std::sqrt(1.0 - gamma), 0)}};
+  linalg::Matrix k1{{Complex(0, 0), Complex(std::sqrt(gamma), 0)},
+                    {Complex(0, 0), Complex(0, 0)}};
+  return {k0, k1};
+}
+
+std::vector<linalg::Matrix> PhaseDampingKraus(double lambda) {
+  QDM_CHECK(lambda >= 0.0 && lambda <= 1.0);
+  linalg::Matrix k0{{Complex(1, 0), Complex(0, 0)},
+                    {Complex(0, 0), Complex(std::sqrt(1.0 - lambda), 0)}};
+  linalg::Matrix k1{{Complex(0, 0), Complex(0, 0)},
+                    {Complex(0, 0), Complex(std::sqrt(lambda), 0)}};
+  return {k0, k1};
+}
+
+}  // namespace sim
+}  // namespace qdm

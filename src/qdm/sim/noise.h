@@ -1,0 +1,70 @@
+#ifndef QDM_SIM_NOISE_H_
+#define QDM_SIM_NOISE_H_
+
+#include <map>
+#include <vector>
+
+#include "qdm/circuit/circuit.h"
+#include "qdm/common/rng.h"
+#include "qdm/sim/statevector.h"
+
+namespace qdm {
+namespace sim {
+
+/// Stochastic (Pauli-twirled) noise description for the trajectory simulator.
+/// Models the "noisy operations" constraint of NISQ machines that Sec III-C(3)
+/// of the paper highlights: every sweep in bench_hardware_constraints runs
+/// against this model.
+struct NoiseModel {
+  /// Probability that a uniform random Pauli hits each operand qubit after a
+  /// single-qubit gate.
+  double depolarizing_1q = 0.0;
+  /// Same, after a multi-qubit gate (applied independently per operand).
+  double depolarizing_2q = 0.0;
+  /// Probability that a measured bit is flipped at readout.
+  double readout_flip = 0.0;
+
+  bool IsNoiseless() const {
+    return depolarizing_1q == 0.0 && depolarizing_2q == 0.0 &&
+           readout_flip == 0.0;
+  }
+};
+
+/// Monte-Carlo trajectory simulator: each run draws one random Pauli-error
+/// realization. Averaging trajectories converges to the density-matrix
+/// channel semantics (verified against DensityMatrix in tests).
+class TrajectorySimulator {
+ public:
+  explicit TrajectorySimulator(NoiseModel model) : model_(model) {}
+
+  /// Runs one noisy trajectory of `c` from |0...0>.
+  Statevector RunTrajectory(const circuit::Circuit& c, Rng* rng) const;
+
+  /// Samples measurement outcomes, one fresh trajectory per shot (plus
+  /// readout errors).
+  std::map<uint64_t, int> Sample(const circuit::Circuit& c, int shots,
+                                 Rng* rng) const;
+
+  /// Mean of a diagonal observable over `trajectories` runs.
+  double AverageDiagonalExpectation(const circuit::Circuit& c,
+                                    const std::vector<double>& diagonal,
+                                    int trajectories, Rng* rng) const;
+
+  const NoiseModel& model() const { return model_; }
+
+ private:
+  void MaybeApplyPauli(Statevector* sv, int qubit, double p, Rng* rng) const;
+
+  NoiseModel model_;
+};
+
+/// Kraus operators of the standard single-qubit channels (used by the
+/// density-matrix reference implementation and by qnet fidelity algebra).
+std::vector<linalg::Matrix> DepolarizingKraus(double p);
+std::vector<linalg::Matrix> AmplitudeDampingKraus(double gamma);
+std::vector<linalg::Matrix> PhaseDampingKraus(double lambda);
+
+}  // namespace sim
+}  // namespace qdm
+
+#endif  // QDM_SIM_NOISE_H_

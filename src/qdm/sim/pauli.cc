@@ -1,0 +1,60 @@
+#include "qdm/sim/pauli.h"
+
+#include <cmath>
+
+#include "qdm/circuit/gates.h"
+#include "qdm/common/check.h"
+
+namespace qdm {
+namespace sim {
+
+void ApplyPauliString(Statevector* sv, const std::string& paulis,
+                      const std::vector<int>& qubits) {
+  QDM_CHECK_EQ(paulis.size(), qubits.size());
+  using circuit::GateKind;
+  for (size_t k = 0; k < paulis.size(); ++k) {
+    switch (paulis[k]) {
+      case 'I':
+        break;
+      case 'X':
+        sv->Apply1Q(circuit::SingleQubitMatrix(GateKind::kX, {}), qubits[k]);
+        break;
+      case 'Y':
+        sv->Apply1Q(circuit::SingleQubitMatrix(GateKind::kY, {}), qubits[k]);
+        break;
+      case 'Z':
+        sv->Apply1Q(circuit::SingleQubitMatrix(GateKind::kZ, {}), qubits[k]);
+        break;
+      default:
+        QDM_CHECK(false) << "bad Pauli '" << paulis[k] << "'";
+    }
+  }
+}
+
+double PauliExpectation(const Statevector& sv, const std::string& paulis,
+                        const std::vector<int>& qubits) {
+  Statevector transformed = sv;
+  ApplyPauliString(&transformed, paulis, qubits);
+  return sv.InnerProduct(transformed).real();
+}
+
+int MeasurePauliString(Statevector* sv, const std::string& paulis,
+                       const std::vector<int>& qubits, Rng* rng) {
+  // P(+1) = || (I + P)/2 |psi> ||^2 = (1 + <P>) / 2.
+  Statevector p_psi = *sv;
+  ApplyPauliString(&p_psi, paulis, qubits);
+  const double expectation = sv->InnerProduct(p_psi).real();
+  const double p_plus = std::min(1.0, std::max(0.0, (1.0 + expectation) / 2.0));
+
+  const int outcome = rng->Bernoulli(p_plus) ? +1 : -1;
+  auto& amps = sv->mutable_amplitudes();
+  const auto& pamps = p_psi.amplitudes();
+  for (size_t z = 0; z < amps.size(); ++z) {
+    amps[z] = 0.5 * (amps[z] + static_cast<double>(outcome) * pamps[z]);
+  }
+  sv->Normalize();
+  return outcome;
+}
+
+}  // namespace sim
+}  // namespace qdm

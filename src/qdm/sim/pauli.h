@@ -1,0 +1,33 @@
+#ifndef QDM_SIM_PAULI_H_
+#define QDM_SIM_PAULI_H_
+
+#include <string>
+#include <vector>
+
+#include "qdm/common/rng.h"
+#include "qdm/sim/statevector.h"
+
+namespace qdm {
+namespace sim {
+
+/// Applies the Pauli string to the state: `paulis[k]` (one of "IXYZ") acts on
+/// `qubits[k]`.
+void ApplyPauliString(Statevector* sv, const std::string& paulis,
+                      const std::vector<int>& qubits);
+
+/// <psi| P |psi> for the Pauli string (always real).
+double PauliExpectation(const Statevector& sv, const std::string& paulis,
+                        const std::vector<int>& qubits);
+
+/// Projective measurement of the +-1-valued Pauli observable: samples an
+/// eigenvalue, collapses onto the corresponding eigenspace with
+/// P_+- = (I +- P)/2, and returns +1 or -1. Sequential measurements of
+/// commuting strings (e.g. a magic-square row) are exactly the joint
+/// measurement.
+int MeasurePauliString(Statevector* sv, const std::string& paulis,
+                       const std::vector<int>& qubits, Rng* rng);
+
+}  // namespace sim
+}  // namespace qdm
+
+#endif  // QDM_SIM_PAULI_H_

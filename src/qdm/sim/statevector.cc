@@ -1,0 +1,302 @@
+#include "qdm/sim/statevector.h"
+
+#include <cmath>
+
+#include "qdm/common/strings.h"
+
+namespace qdm {
+namespace sim {
+
+namespace {
+
+bool IsPowerOfTwo(size_t n) { return n != 0 && (n & (n - 1)) == 0; }
+
+int Log2(size_t n) {
+  int k = 0;
+  while ((size_t{1} << k) < n) ++k;
+  return k;
+}
+
+}  // namespace
+
+Statevector::Statevector(int num_qubits) : num_qubits_(num_qubits) {
+  QDM_CHECK_GT(num_qubits, 0);
+  QDM_CHECK_LE(num_qubits, 28) << "state vector would exceed memory budget";
+  amplitudes_.assign(size_t{1} << num_qubits, Complex(0, 0));
+  amplitudes_[0] = Complex(1, 0);
+}
+
+Statevector Statevector::FromAmplitudes(std::vector<Complex> amplitudes,
+                                        bool normalize) {
+  QDM_CHECK(IsPowerOfTwo(amplitudes.size()))
+      << "amplitude vector length must be a power of two";
+  Statevector sv;
+  sv.num_qubits_ = Log2(amplitudes.size());
+  QDM_CHECK_GT(sv.num_qubits_, 0);
+  sv.amplitudes_ = std::move(amplitudes);
+  if (normalize) sv.Normalize();
+  return sv;
+}
+
+void Statevector::Apply1Q(const linalg::Matrix& u, int q) {
+  QDM_CHECK(u.rows() == 2 && u.cols() == 2);
+  QDM_CHECK(q >= 0 && q < num_qubits_);
+  const size_t step = size_t{1} << q;
+  const Complex u00 = u(0, 0), u01 = u(0, 1), u10 = u(1, 0), u11 = u(1, 1);
+  for (size_t group = 0; group < amplitudes_.size(); group += 2 * step) {
+    for (size_t i = group; i < group + step; ++i) {
+      const Complex a0 = amplitudes_[i];
+      const Complex a1 = amplitudes_[i + step];
+      amplitudes_[i] = u00 * a0 + u01 * a1;
+      amplitudes_[i + step] = u10 * a0 + u11 * a1;
+    }
+  }
+}
+
+void Statevector::ApplyControlled1Q(const std::vector<int>& controls, int target,
+                                    const linalg::Matrix& u) {
+  QDM_CHECK(u.rows() == 2 && u.cols() == 2);
+  QDM_CHECK(target >= 0 && target < num_qubits_);
+  uint64_t control_mask = 0;
+  for (int c : controls) {
+    QDM_CHECK(c >= 0 && c < num_qubits_ && c != target);
+    control_mask |= uint64_t{1} << c;
+  }
+  const size_t step = size_t{1} << target;
+  const Complex u00 = u(0, 0), u01 = u(0, 1), u10 = u(1, 0), u11 = u(1, 1);
+  for (size_t group = 0; group < amplitudes_.size(); group += 2 * step) {
+    for (size_t i = group; i < group + step; ++i) {
+      if ((i & control_mask) != control_mask) continue;
+      const Complex a0 = amplitudes_[i];
+      const Complex a1 = amplitudes_[i + step];
+      amplitudes_[i] = u00 * a0 + u01 * a1;
+      amplitudes_[i + step] = u10 * a0 + u11 * a1;
+    }
+  }
+}
+
+void Statevector::ApplySwap(int a, int b) {
+  QDM_CHECK(a >= 0 && a < num_qubits_ && b >= 0 && b < num_qubits_ && a != b);
+  const uint64_t bit_a = uint64_t{1} << a;
+  const uint64_t bit_b = uint64_t{1} << b;
+  for (size_t i = 0; i < amplitudes_.size(); ++i) {
+    // Visit each mismatched pair once: a-bit set, b-bit clear.
+    if ((i & bit_a) != 0 && (i & bit_b) == 0) {
+      size_t j = (i & ~bit_a) | bit_b;
+      std::swap(amplitudes_[i], amplitudes_[j]);
+    }
+  }
+}
+
+void Statevector::ApplyControlledSwap(int control, int a, int b) {
+  QDM_CHECK(control != a && control != b);
+  const uint64_t bit_c = uint64_t{1} << control;
+  const uint64_t bit_a = uint64_t{1} << a;
+  const uint64_t bit_b = uint64_t{1} << b;
+  for (size_t i = 0; i < amplitudes_.size(); ++i) {
+    if ((i & bit_c) != 0 && (i & bit_a) != 0 && (i & bit_b) == 0) {
+      size_t j = (i & ~bit_a) | bit_b;
+      std::swap(amplitudes_[i], amplitudes_[j]);
+    }
+  }
+}
+
+void Statevector::ApplyDiagonalPhase(
+    const std::function<double(uint64_t)>& phase) {
+  for (size_t z = 0; z < amplitudes_.size(); ++z) {
+    amplitudes_[z] *= std::polar(1.0, phase(z));
+  }
+}
+
+void Statevector::ApplyGate(const circuit::Gate& gate) {
+  using circuit::GateKind;
+  QDM_CHECK_EQ(gate.param_ref, -1)
+      << "cannot simulate a symbolic gate; call BindParameters first";
+  switch (gate.kind) {
+    case GateKind::kI:
+      return;
+    case GateKind::kX:
+    case GateKind::kY:
+    case GateKind::kZ:
+    case GateKind::kH:
+    case GateKind::kS:
+    case GateKind::kSdg:
+    case GateKind::kT:
+    case GateKind::kTdg:
+    case GateKind::kRX:
+    case GateKind::kRY:
+    case GateKind::kRZ:
+    case GateKind::kPhase:
+    case GateKind::kU3:
+      Apply1Q(circuit::SingleQubitMatrix(gate.kind, gate.params), gate.qubits[0]);
+      return;
+    case GateKind::kCX:
+      ApplyControlled1Q({gate.qubits[0]}, gate.qubits[1],
+                        circuit::SingleQubitMatrix(GateKind::kX, {}));
+      return;
+    case GateKind::kCY:
+      ApplyControlled1Q({gate.qubits[0]}, gate.qubits[1],
+                        circuit::SingleQubitMatrix(GateKind::kY, {}));
+      return;
+    case GateKind::kCZ:
+      ApplyControlled1Q({gate.qubits[0]}, gate.qubits[1],
+                        circuit::SingleQubitMatrix(GateKind::kZ, {}));
+      return;
+    case GateKind::kSwap:
+      ApplySwap(gate.qubits[0], gate.qubits[1]);
+      return;
+    case GateKind::kCRZ:
+      ApplyControlled1Q({gate.qubits[0]}, gate.qubits[1],
+                        circuit::SingleQubitMatrix(GateKind::kRZ, gate.params));
+      return;
+    case GateKind::kCPhase:
+      ApplyControlled1Q(
+          {gate.qubits[0]}, gate.qubits[1],
+          circuit::SingleQubitMatrix(GateKind::kPhase, gate.params));
+      return;
+    case GateKind::kRZZ: {
+      // RZZ(theta) = exp(-i theta/2 Z(x)Z): phase -theta/2 when bits equal,
+      // +theta/2 when they differ.
+      const uint64_t bit_a = uint64_t{1} << gate.qubits[0];
+      const uint64_t bit_b = uint64_t{1} << gate.qubits[1];
+      const double half = gate.params[0] / 2;
+      for (size_t z = 0; z < amplitudes_.size(); ++z) {
+        const bool equal = ((z & bit_a) != 0) == ((z & bit_b) != 0);
+        amplitudes_[z] *= std::polar(1.0, equal ? -half : half);
+      }
+      return;
+    }
+    case GateKind::kCCX:
+      ApplyControlled1Q({gate.qubits[0], gate.qubits[1]}, gate.qubits[2],
+                        circuit::SingleQubitMatrix(GateKind::kX, {}));
+      return;
+    case GateKind::kCSwap:
+      ApplyControlledSwap(gate.qubits[0], gate.qubits[1], gate.qubits[2]);
+      return;
+  }
+  QDM_CHECK(false) << "unhandled gate kind";
+}
+
+void Statevector::ApplyCircuit(const circuit::Circuit& c) {
+  QDM_CHECK_EQ(c.num_qubits(), num_qubits_);
+  QDM_CHECK_EQ(c.num_parameters(), 0)
+      << "cannot simulate a circuit with unbound parameters";
+  for (const circuit::Gate& gate : c.gates()) ApplyGate(gate);
+}
+
+double Statevector::ProbabilityOfOne(int q) const {
+  QDM_CHECK(q >= 0 && q < num_qubits_);
+  const uint64_t bit = uint64_t{1} << q;
+  double p = 0.0;
+  for (size_t z = 0; z < amplitudes_.size(); ++z) {
+    if (z & bit) p += std::norm(amplitudes_[z]);
+  }
+  return p;
+}
+
+std::vector<double> Statevector::Probabilities() const {
+  std::vector<double> probs(amplitudes_.size());
+  for (size_t z = 0; z < amplitudes_.size(); ++z) {
+    probs[z] = std::norm(amplitudes_[z]);
+  }
+  return probs;
+}
+
+int Statevector::MeasureQubit(int q, Rng* rng) {
+  const double p1 = ProbabilityOfOne(q);
+  const int outcome = rng->Bernoulli(p1) ? 1 : 0;
+  const uint64_t bit = uint64_t{1} << q;
+  const double norm = std::sqrt(outcome == 1 ? p1 : 1.0 - p1);
+  QDM_CHECK_GT(norm, 0.0);
+  for (size_t z = 0; z < amplitudes_.size(); ++z) {
+    const bool matches = ((z & bit) != 0) == (outcome == 1);
+    amplitudes_[z] = matches ? amplitudes_[z] / norm : Complex(0, 0);
+  }
+  return outcome;
+}
+
+uint64_t Statevector::MeasureAll(Rng* rng) {
+  const uint64_t outcome = SampleBasisState(rng);
+  amplitudes_.assign(amplitudes_.size(), Complex(0, 0));
+  amplitudes_[outcome] = Complex(1, 0);
+  return outcome;
+}
+
+uint64_t Statevector::SampleBasisState(Rng* rng) const {
+  double r = rng->Uniform();
+  double acc = 0.0;
+  for (size_t z = 0; z < amplitudes_.size(); ++z) {
+    acc += std::norm(amplitudes_[z]);
+    if (r < acc) return z;
+  }
+  return amplitudes_.size() - 1;
+}
+
+std::map<uint64_t, int> Statevector::Sample(int shots, Rng* rng) const {
+  std::map<uint64_t, int> counts;
+  for (int s = 0; s < shots; ++s) ++counts[SampleBasisState(rng)];
+  return counts;
+}
+
+double Statevector::ExpectationDiagonal(
+    const std::vector<double>& diagonal) const {
+  QDM_CHECK_EQ(diagonal.size(), amplitudes_.size());
+  double e = 0.0;
+  for (size_t z = 0; z < amplitudes_.size(); ++z) {
+    e += std::norm(amplitudes_[z]) * diagonal[z];
+  }
+  return e;
+}
+
+Complex Statevector::InnerProduct(const Statevector& other) const {
+  QDM_CHECK_EQ(num_qubits_, other.num_qubits_);
+  Complex ip(0, 0);
+  for (size_t z = 0; z < amplitudes_.size(); ++z) {
+    ip += std::conj(amplitudes_[z]) * other.amplitudes_[z];
+  }
+  return ip;
+}
+
+double Statevector::FidelityWith(const Statevector& other) const {
+  return std::norm(InnerProduct(other));
+}
+
+double Statevector::NormSquared() const {
+  double n = 0.0;
+  for (const Complex& a : amplitudes_) n += std::norm(a);
+  return n;
+}
+
+void Statevector::Normalize() {
+  const double n = std::sqrt(NormSquared());
+  QDM_CHECK_GT(n, 0.0) << "cannot normalize the zero vector";
+  for (Complex& a : amplitudes_) a /= n;
+}
+
+std::string Statevector::ToString(double cutoff) const {
+  std::string out;
+  for (size_t z = 0; z < amplitudes_.size(); ++z) {
+    if (std::abs(amplitudes_[z]) <= cutoff) continue;
+    std::string bits;
+    for (int q = num_qubits_ - 1; q >= 0; --q) {
+      bits += ((z >> q) & 1) ? '1' : '0';
+    }
+    out += StrFormat("|%s>: %+.4f%+.4fi\n", bits.c_str(), amplitudes_[z].real(),
+                     amplitudes_[z].imag());
+  }
+  return out;
+}
+
+Statevector RunCircuit(const circuit::Circuit& c) {
+  Statevector sv(c.num_qubits());
+  sv.ApplyCircuit(c);
+  return sv;
+}
+
+std::map<uint64_t, int> SampleCircuit(const circuit::Circuit& c, int shots,
+                                      Rng* rng) {
+  return RunCircuit(c).Sample(shots, rng);
+}
+
+}  // namespace sim
+}  // namespace qdm

@@ -1,0 +1,122 @@
+#ifndef QDM_SIM_STATEVECTOR_H_
+#define QDM_SIM_STATEVECTOR_H_
+
+#include <complex>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "qdm/circuit/circuit.h"
+#include "qdm/common/rng.h"
+#include "qdm/linalg/matrix.h"
+
+namespace qdm {
+namespace sim {
+
+/// Dense state-vector simulator state over `num_qubits` qubits.
+///
+/// Convention: qubit q is bit q (least-significant = qubit 0) of the
+/// basis-state index, so |q1 q0> = |10> is index 2.
+///
+/// This is the gate-based "quantum computer" substrate of the toolkit (the
+/// paper's surveyed works run on IBM-Q class machines; all circuits in scope
+/// fit in <= ~24 qubits, where exact simulation is both feasible and the
+/// strongest possible verification of the algorithmic claims).
+class Statevector {
+ public:
+  /// Initializes to |0...0>.
+  explicit Statevector(int num_qubits);
+
+  /// Takes ownership of explicit amplitudes (length must be a power of two;
+  /// the vector is normalized if `normalize` is set).
+  static Statevector FromAmplitudes(std::vector<Complex> amplitudes,
+                                    bool normalize = false);
+
+  int num_qubits() const { return num_qubits_; }
+  size_t dimension() const { return amplitudes_.size(); }
+  const std::vector<Complex>& amplitudes() const { return amplitudes_; }
+  std::vector<Complex>& mutable_amplitudes() { return amplitudes_; }
+  Complex amplitude(uint64_t basis_state) const {
+    return amplitudes_[basis_state];
+  }
+
+  // -- Gate application -------------------------------------------------------
+
+  /// Applies an arbitrary 2x2 unitary to qubit `q`.
+  void Apply1Q(const linalg::Matrix& u, int q);
+
+  /// Applies `u` to `target` on the subspace where all `controls` are |1>.
+  void ApplyControlled1Q(const std::vector<int>& controls, int target,
+                         const linalg::Matrix& u);
+
+  /// Exchanges qubits a and b.
+  void ApplySwap(int a, int b);
+
+  /// Controlled swap.
+  void ApplyControlledSwap(int control, int a, int b);
+
+  /// Multiplies amplitude of basis state z by exp(i * phase(z)). This is the
+  /// fast path for diagonal operators (QAOA cost layers, Grover oracles).
+  void ApplyDiagonalPhase(const std::function<double(uint64_t)>& phase);
+
+  /// Applies one circuit gate / a whole circuit (circuit must be fully bound).
+  void ApplyGate(const circuit::Gate& gate);
+  void ApplyCircuit(const circuit::Circuit& c);
+
+  // -- Measurement and readout ------------------------------------------------
+
+  /// P(qubit q measures 1).
+  double ProbabilityOfOne(int q) const;
+
+  /// Per-basis-state probabilities (|amp|^2).
+  std::vector<double> Probabilities() const;
+
+  /// Projective measurement of one qubit; collapses the state. Returns 0/1.
+  int MeasureQubit(int q, Rng* rng);
+
+  /// Measures all qubits; collapses to a basis state and returns its index.
+  uint64_t MeasureAll(Rng* rng);
+
+  /// Samples a basis state WITHOUT collapsing (repeatable readout).
+  uint64_t SampleBasisState(Rng* rng) const;
+
+  /// Draws `shots` samples; returns counts per basis state.
+  std::map<uint64_t, int> Sample(int shots, Rng* rng) const;
+
+  // -- Linear-algebra utilities -----------------------------------------------
+
+  /// <z|H|z> expectation of a diagonal operator given its diagonal (length ==
+  /// dimension()).
+  double ExpectationDiagonal(const std::vector<double>& diagonal) const;
+
+  Complex InnerProduct(const Statevector& other) const;
+
+  /// |<this|other>|^2.
+  double FidelityWith(const Statevector& other) const;
+
+  double NormSquared() const;
+  void Normalize();
+
+  /// Debug listing of non-negligible amplitudes.
+  std::string ToString(double cutoff = 1e-9) const;
+
+ private:
+  Statevector() : num_qubits_(0) {}
+
+  int num_qubits_;
+  std::vector<Complex> amplitudes_;
+};
+
+/// Runs `c` on |0...0> and returns the final state.
+Statevector RunCircuit(const circuit::Circuit& c);
+
+/// Runs `c` on |0...0> and samples `shots` measurement outcomes.
+std::map<uint64_t, int> SampleCircuit(const circuit::Circuit& c, int shots,
+                                      Rng* rng);
+
+}  // namespace sim
+}  // namespace qdm
+
+#endif  // QDM_SIM_STATEVECTOR_H_

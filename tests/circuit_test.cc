@@ -1,0 +1,97 @@
+#include <gtest/gtest.h>
+
+#include "qdm/circuit/circuit.h"
+
+namespace qdm {
+namespace circuit {
+namespace {
+
+TEST(CircuitTest, BuilderChains) {
+  Circuit c(2);
+  c.H(0).CX(0, 1).RZ(1, 0.5);
+  EXPECT_EQ(c.size(), 3u);
+  EXPECT_EQ(c.gates()[0].kind, GateKind::kH);
+  EXPECT_EQ(c.gates()[1].qubits, (std::vector<int>{0, 1}));
+  EXPECT_DOUBLE_EQ(c.gates()[2].params[0], 0.5);
+}
+
+TEST(CircuitTest, GateAritiesEnforced) {
+  EXPECT_EQ(GateArity(GateKind::kH), 1);
+  EXPECT_EQ(GateArity(GateKind::kCX), 2);
+  EXPECT_EQ(GateArity(GateKind::kCCX), 3);
+  EXPECT_EQ(GateParamCount(GateKind::kU3), 3);
+  EXPECT_EQ(GateParamCount(GateKind::kRZZ), 1);
+}
+
+TEST(CircuitTest, ComposeAppendsGates) {
+  Circuit a(2), b(2);
+  a.H(0);
+  b.CX(0, 1).X(1);
+  a.Compose(b);
+  EXPECT_EQ(a.size(), 3u);
+  EXPECT_EQ(a.gates()[2].kind, GateKind::kX);
+}
+
+TEST(CircuitTest, SymbolicParametersTracked) {
+  Circuit c(2);
+  c.SymbolicRY(0, 0).SymbolicRY(1, 1).CX(0, 1).SymbolicRZ(0, 2);
+  EXPECT_EQ(c.num_parameters(), 3);
+
+  Circuit bound = c.BindParameters({0.1, 0.2, 0.3});
+  EXPECT_EQ(bound.num_parameters(), 0);
+  EXPECT_DOUBLE_EQ(bound.gates()[0].params[0], 0.1);
+  EXPECT_DOUBLE_EQ(bound.gates()[1].params[0], 0.2);
+  EXPECT_DOUBLE_EQ(bound.gates()[3].params[0], 0.3);
+}
+
+TEST(CircuitTest, BindLeavesConcreteGatesAlone) {
+  Circuit c(1);
+  c.RY(0, 1.5).SymbolicRY(0, 0);
+  Circuit bound = c.BindParameters({2.5});
+  EXPECT_DOUBLE_EQ(bound.gates()[0].params[0], 1.5);
+  EXPECT_DOUBLE_EQ(bound.gates()[1].params[0], 2.5);
+}
+
+TEST(CircuitTest, SharedParameterReusedAcrossGates) {
+  Circuit c(2);
+  c.SymbolicRX(0, 0).SymbolicRX(1, 0);  // Same angle on both qubits.
+  EXPECT_EQ(c.num_parameters(), 1);
+  Circuit bound = c.BindParameters({0.9});
+  EXPECT_DOUBLE_EQ(bound.gates()[0].params[0], 0.9);
+  EXPECT_DOUBLE_EQ(bound.gates()[1].params[0], 0.9);
+}
+
+TEST(CircuitTest, ToStringListsGates) {
+  Circuit c(2);
+  c.H(0).CX(0, 1).RZ(1, 0.25);
+  std::string s = c.ToString();
+  EXPECT_NE(s.find("h q[0]"), std::string::npos);
+  EXPECT_NE(s.find("cx q[0],q[1]"), std::string::npos);
+  EXPECT_NE(s.find("rz(0.25) q[1]"), std::string::npos);
+}
+
+TEST(CircuitTest, MultiQubitGateCount) {
+  Circuit c(3);
+  c.H(0).CX(0, 1).CCX(0, 1, 2).RZ(2, 0.1).Swap(0, 2);
+  EXPECT_EQ(c.MultiQubitGateCount(), 3);
+}
+
+TEST(CircuitTest, GateNamesMatchQasm) {
+  EXPECT_STREQ(GateName(GateKind::kCCX), "ccx");
+  EXPECT_STREQ(GateName(GateKind::kSdg), "sdg");
+  EXPECT_STREQ(GateName(GateKind::kCPhase), "cp");
+}
+
+TEST(CircuitDeathTest, RejectsOutOfRangeQubit) {
+  Circuit c(2);
+  EXPECT_DEATH(c.H(2), "out of range");
+}
+
+TEST(CircuitDeathTest, RejectsDuplicateOperands) {
+  Circuit c(2);
+  EXPECT_DEATH(c.CX(1, 1), "duplicate qubit");
+}
+
+}  // namespace
+}  // namespace circuit
+}  // namespace qdm

@@ -1,0 +1,86 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "qdm/common/rng.h"
+#include "qdm/qnet/e91.h"
+
+namespace qdm {
+namespace qnet {
+namespace {
+
+TEST(E91Test, PerfectPairsReachTsirelson) {
+  Rng rng(3);
+  E91Config config;
+  config.num_pairs = 40000;
+  E91Result r = RunE91(config, &rng);
+  EXPECT_FALSE(r.aborted);
+  EXPECT_NEAR(r.s_value, 2 * std::sqrt(2.0), 0.06);
+  EXPECT_GT(r.key_bits, 5000);  // 2 of 9 basis pairs are key rounds.
+  EXPECT_NEAR(r.qber, 0.0, 0.01);
+}
+
+TEST(E91Test, ExpectedSFormula) {
+  EXPECT_NEAR(ExpectedE91S(1.0), 2 * std::sqrt(2.0), 1e-12);
+  EXPECT_NEAR(ExpectedE91S(0.25), 0.0, 1e-12);  // Maximally mixed.
+  // S crosses the classical bound 2 at w = 1/sqrt(2), F = (3/sqrt(2)+1)/4.
+  const double f_critical = (3.0 / std::sqrt(2.0) + 1.0) / 4.0;
+  EXPECT_NEAR(ExpectedE91S(f_critical), 2.0, 1e-9);
+}
+
+TEST(E91Test, MeasuredSTracksWernerFidelity) {
+  Rng rng(7);
+  for (double f : {0.95, 0.85, 0.75}) {
+    E91Config config;
+    config.num_pairs = 60000;
+    config.pair_fidelity = f;
+    config.s_threshold = -10;  // Disable aborting to read S.
+    E91Result r = RunE91(config, &rng);
+    EXPECT_NEAR(r.s_value, ExpectedE91S(f), 0.08) << "F=" << f;
+    // QBER on key rounds of a Werner pair: (1 - w) / 2.
+    const double w = (4 * f - 1) / 3;
+    EXPECT_NEAR(r.qber, (1 - w) / 2, 0.02) << "F=" << f;
+  }
+}
+
+TEST(E91Test, EavesdropperBreaksBellViolationAndAborts) {
+  Rng rng(11);
+  E91Config config;
+  config.num_pairs = 40000;
+  config.eavesdropper = true;
+  E91Result r = RunE91(config, &rng);
+  EXPECT_TRUE(r.aborted);
+  // Intercept-resend in Z flattens S to sqrt(2), below the classical bound.
+  EXPECT_NEAR(r.s_value, std::sqrt(2.0), 0.06);
+  EXPECT_EQ(r.key_bits, 0);
+}
+
+TEST(E91Test, DecoheredPairsBelowCriticalFidelityAbort) {
+  Rng rng(13);
+  E91Config config;
+  config.num_pairs = 30000;
+  config.pair_fidelity = 0.6;  // Well below the S = 2 crossing (~0.78).
+  E91Result r = RunE91(config, &rng);
+  EXPECT_TRUE(r.aborted);
+  EXPECT_LT(r.s_value, 2.0);
+}
+
+TEST(E91Test, SecurityMarginShrinksContinuously) {
+  // S decreases monotonically with fidelity: the "margin of nonlocality"
+  // doubles as an operational security meter for the data layer.
+  Rng rng(17);
+  double prev = 10.0;
+  for (double f : {1.0, 0.9, 0.8, 0.7}) {
+    E91Config config;
+    config.num_pairs = 50000;
+    config.pair_fidelity = f;
+    config.s_threshold = -10;
+    const double s = RunE91(config, &rng).s_value;
+    EXPECT_LT(s, prev + 0.05) << "F=" << f;
+    prev = s;
+  }
+}
+
+}  // namespace
+}  // namespace qnet
+}  // namespace qdm

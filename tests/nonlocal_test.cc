@@ -1,0 +1,122 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "qdm/nonlocal/games.h"
+
+namespace qdm {
+namespace nonlocal {
+namespace {
+
+// Paper Example IV.2: "every pair of players who do not share entangled
+// states can succeed with probability of at most 0.75".
+TEST(ChshTest, ClassicalValueIsThreeQuarters) {
+  EXPECT_DOUBLE_EQ(ClassicalValueTwoPlayer(ChshGame()), 0.75);
+}
+
+// Paper Example IV.2: "the two players win optimally with score ~0.85 using
+// an entangled Bell's state".
+TEST(ChshTest, QuantumValueIsCosSquaredPiOverEight) {
+  const double value = QuantumValueTwoPlayer(ChshGame(), OptimalChshStrategy());
+  EXPECT_NEAR(value, std::pow(std::cos(M_PI / 8), 2), 1e-12);
+  EXPECT_NEAR(value, 0.85355339, 1e-7);
+}
+
+TEST(ChshTest, SampledPlayMatchesExactValue) {
+  Rng rng(42);
+  const double empirical =
+      PlayTwoPlayerGame(ChshGame(), OptimalChshStrategy(), 100000, &rng);
+  EXPECT_NEAR(empirical, 0.8536, 0.01);
+}
+
+TEST(ChshTest, UnentangledStrategyCannotBeatClassicalBound) {
+  // Product state |00> with any fixed measurement angles is a local
+  // strategy; its value must respect the 0.75 bound.
+  TwoPlayerQuantumStrategy product;
+  product.shared_state = sim::Statevector(2);  // |00>, no entanglement.
+  product.alice_rotations = {MeasureInXZPlane(0.3), MeasureInXZPlane(1.1)};
+  product.bob_rotations = {MeasureInXZPlane(-0.7), MeasureInXZPlane(0.4)};
+  EXPECT_LE(QuantumValueTwoPlayer(ChshGame(), product), 0.75 + 1e-9);
+}
+
+TEST(ChshTest, AngleOptimizationApproachesTsirelsonBound) {
+  Rng rng(7);
+  auto result = OptimizeXZAngles(ChshGame(), 6, &rng);
+  const double optimized_value = -result.value;
+  EXPECT_GT(optimized_value, 0.84)
+      << "optimizer should closely approach cos^2(pi/8) ~ 0.8536";
+  EXPECT_LE(optimized_value, std::pow(std::cos(M_PI / 8), 2) + 1e-9)
+      << "nothing beats the Tsirelson bound";
+}
+
+TEST(ChshTest, BellStateWithIdentityMeasurementsIsCorrelated) {
+  // Sanity link to Example IV.1: measuring both halves of Phi+ in Z gives
+  // perfectly correlated answers.
+  TwoPlayerQuantumStrategy strategy = OptimalChshStrategy();
+  sim::Statevector state = strategy.shared_state;
+  EXPECT_NEAR(std::norm(state.amplitude(0)), 0.5, 1e-12);
+  EXPECT_NEAR(std::norm(state.amplitude(3)), 0.5, 1e-12);
+}
+
+// Paper Sec IV-A: "In the GHZ game, the entangled state achieves a
+// probability of 1, while classical resources can only achieve 0.75."
+TEST(GhzTest, ClassicalValueIsThreeQuarters) {
+  EXPECT_DOUBLE_EQ(ClassicalValueThreePlayer(GhzGame()), 0.75);
+}
+
+TEST(GhzTest, QuantumStrategyWinsAlways) {
+  EXPECT_NEAR(QuantumValueThreePlayer(GhzGame(), OptimalGhzStrategy()), 1.0,
+              1e-12);
+}
+
+TEST(GhzTest, SampledPlayNeverLoses) {
+  Rng rng(3);
+  const double empirical =
+      PlayThreePlayerGame(GhzGame(), OptimalGhzStrategy(), 20000, &rng);
+  EXPECT_DOUBLE_EQ(empirical, 1.0);
+}
+
+TEST(GhzTest, WrongMeasurementBasisLoses) {
+  // Swapping the X/Y roles breaks the win condition on the mixed questions.
+  ThreePlayerQuantumStrategy wrong = OptimalGhzStrategy();
+  wrong.rotations.assign(3, {MeasureY(), MeasureX()});
+  EXPECT_LT(QuantumValueThreePlayer(GhzGame(), wrong), 1.0 - 1e-6);
+}
+
+TEST(GhzTest, QuestionsMatchPaperDefinition) {
+  ThreePlayerGame game = GhzGame();
+  ASSERT_EQ(game.questions.size(), 4u);
+  // Exactly the even-parity question set {000, 011, 101, 110}.
+  for (const auto& q : game.questions) {
+    EXPECT_EQ((q[0] ^ q[1] ^ q[2]), 0);
+  }
+  // Win condition: XOR of answers equals OR of questions.
+  EXPECT_TRUE(game.predicate({0, 0, 0}, 0, 0, 0));
+  EXPECT_FALSE(game.predicate({0, 0, 0}, 1, 0, 0));
+  EXPECT_TRUE(game.predicate({0, 1, 1}, 1, 0, 0));
+  EXPECT_FALSE(game.predicate({0, 1, 1}, 0, 0, 0));
+}
+
+TEST(MeasurementTest, RotationsAreUnitary) {
+  EXPECT_TRUE(MeasureX().IsUnitary());
+  EXPECT_TRUE(MeasureY().IsUnitary());
+  EXPECT_TRUE(MeasureInXZPlane(0.917).IsUnitary());
+}
+
+TEST(MeasurementTest, XZPlaneAtZeroIsZBasis) {
+  // theta = 0 must leave the computational basis untouched (up to phase).
+  linalg::Matrix m = MeasureInXZPlane(0.0);
+  EXPECT_TRUE(m.ApproxEqual(linalg::Matrix::Identity(2)));
+}
+
+TEST(MeasurementTest, XZPlaneAtHalfPiMeasuresX) {
+  // theta = pi/2: |+> must map to |0> deterministically.
+  sim::Statevector plus(1);
+  plus.Apply1Q(circuit::SingleQubitMatrix(circuit::GateKind::kH, {}), 0);
+  plus.Apply1Q(MeasureInXZPlane(M_PI / 2), 0);
+  EXPECT_NEAR(std::norm(plus.amplitude(0)), 1.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace nonlocal
+}  // namespace qdm

@@ -1,0 +1,140 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "qdm/algo/qft.h"
+#include "qdm/algo/qpe.h"
+#include "qdm/circuit/multi_controlled.h"
+#include "qdm/common/rng.h"
+#include "qdm/sim/statevector.h"
+
+namespace qdm {
+namespace algo {
+namespace {
+
+TEST(QftTest, TransformsBasisStateToPhaseRamp) {
+  // QFT|x> = 1/sqrt(N) sum_y e^{2 pi i x y / N} |y>.
+  const int n = 4;
+  const uint64_t size = 1 << n;
+  for (uint64_t x : {0ull, 1ull, 7ull, 15ull}) {
+    sim::Statevector sv = sim::Statevector::FromAmplitudes([&] {
+      std::vector<Complex> a(size, Complex(0, 0));
+      a[x] = Complex(1, 0);
+      return a;
+    }());
+    sv.ApplyCircuit(QftCircuit(n));
+    for (uint64_t y = 0; y < size; ++y) {
+      const Complex expected =
+          std::polar(1.0 / std::sqrt(static_cast<double>(size)),
+                     2 * M_PI * static_cast<double>(x * y) / size);
+      EXPECT_NEAR(std::abs(sv.amplitude(y) - expected), 0.0, 1e-9)
+          << "x=" << x << " y=" << y;
+    }
+  }
+}
+
+TEST(QftTest, InverseUndoesQft) {
+  const int n = 5;
+  circuit::Circuit c(n);
+  // An arbitrary input state.
+  c.H(0).RY(1, 0.7).CX(0, 2).T(3).RZ(4, 1.1).CX(3, 4);
+  sim::Statevector original = sim::RunCircuit(c);
+
+  sim::Statevector round_trip = original;
+  std::vector<int> qubits{0, 1, 2, 3, 4};
+  circuit::Circuit qft(n), iqft(n);
+  AppendQft(&qft, qubits);
+  AppendInverseQft(&iqft, qubits);
+  round_trip.ApplyCircuit(qft);
+  round_trip.ApplyCircuit(iqft);
+  EXPECT_NEAR(round_trip.FidelityWith(original), 1.0, 1e-9);
+}
+
+TEST(QpeTest, ExactForDyadicPhases) {
+  Rng rng(5);
+  const int t = 4;
+  for (uint64_t k : {1ull, 3ull, 8ull, 13ull}) {
+    const double phase = static_cast<double>(k) / 16.0;
+    QpeResult r = EstimatePhase(phase, t, &rng);
+    EXPECT_EQ(r.raw, k) << "phase " << phase;
+    EXPECT_DOUBLE_EQ(r.estimate, phase);
+  }
+}
+
+TEST(QpeTest, ApproximatesGenericPhase) {
+  Rng rng(6);
+  const int t = 7;
+  const double phase = 0.3141;
+  int good = 0;
+  for (int trial = 0; trial < 50; ++trial) {
+    QpeResult r = EstimatePhase(phase, t, &rng);
+    double error = std::abs(r.estimate - phase);
+    error = std::min(error, 1.0 - error);  // Phase wraps mod 1.
+    if (error <= 1.0 / (1 << t)) ++good;
+  }
+  // Theory: success probability >= 8/pi^2 ~ 0.81.
+  EXPECT_GE(good, 35);
+}
+
+TEST(QpeTest, MorePrecisionQubitsTightenEstimate) {
+  Rng rng(7);
+  // 45/256 is exact at 8 bits but lies strictly between 3-bit grid points,
+  // so 8-bit QPE is deterministic-exact while 3-bit QPE must err >= 1/256.
+  const double phase = 45.0 / 256.0;
+  double coarse_err = 0, fine_err = 0;
+  for (int trial = 0; trial < 40; ++trial) {
+    auto err = [&](int t) {
+      QpeResult r = EstimatePhase(phase, t, &rng);
+      double e = std::abs(r.estimate - phase);
+      return std::min(e, 1.0 - e);
+    };
+    coarse_err += err(3);
+    fine_err += err(8);
+  }
+  EXPECT_NEAR(fine_err, 0.0, 1e-12);
+  EXPECT_GT(coarse_err, 40 * (1.0 / 256.0) - 1e-9);
+  EXPECT_LT(fine_err, coarse_err);
+}
+
+TEST(MultiControlledTest, McxTruthTableWithAncillas) {
+  // 4 controls + 1 target + 2 ancillas = 7 qubits.
+  const int k = 4;
+  const int target = k;
+  const int total = k + 1 + circuit::MultiControlledAncillaCount(k);
+  for (uint64_t controls_value = 0; controls_value < (1u << k); ++controls_value) {
+    circuit::Circuit c(total);
+    for (int q = 0; q < k; ++q) {
+      if ((controls_value >> q) & 1) c.X(q);
+    }
+    std::vector<int> controls{0, 1, 2, 3};
+    std::vector<int> ancillas{k + 1, k + 2};
+    circuit::AppendMultiControlledX(&c, controls, target, ancillas);
+    sim::Statevector sv = sim::RunCircuit(c);
+
+    const bool expect_flip = controls_value == (1u << k) - 1;
+    uint64_t expected = controls_value | (expect_flip ? (1u << target) : 0);
+    EXPECT_NEAR(std::norm(sv.amplitude(expected)), 1.0, 1e-9)
+        << "controls=" << controls_value;
+  }
+}
+
+TEST(MultiControlledTest, MczPhaseOnlyOnAllOnes) {
+  const int k = 3;  // 3 controls -> 1 ancilla.
+  const int total = k + 1 + circuit::MultiControlledAncillaCount(k);
+  circuit::Circuit c(total);
+  // Superpose the 4 data qubits (3 controls + target).
+  for (int q = 0; q <= k; ++q) c.H(q);
+  std::vector<int> ancillas{k + 1};
+  circuit::AppendMultiControlledZ(&c, {0, 1, 2}, 3, ancillas);
+  sim::Statevector sv = sim::RunCircuit(c);
+
+  const double amp = 1.0 / 4.0;  // |+>^4 amplitudes.
+  for (uint64_t z = 0; z < 16; ++z) {
+    const double expected_sign = z == 15 ? -1.0 : 1.0;
+    EXPECT_NEAR(sv.amplitude(z).real(), expected_sign * amp, 1e-9) << z;
+  }
+}
+
+}  // namespace
+}  // namespace algo
+}  // namespace qdm

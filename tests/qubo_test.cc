@@ -1,0 +1,118 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "qdm/anneal/qubo.h"
+#include "qdm/common/rng.h"
+
+namespace qdm {
+namespace anneal {
+namespace {
+
+TEST(QuboTest, EnergyMatchesHandComputation) {
+  // E = 3 + 2 x0 - 1 x1 + 4 x0 x1
+  Qubo q(2);
+  q.AddOffset(3.0);
+  q.AddLinear(0, 2.0);
+  q.AddLinear(1, -1.0);
+  q.AddQuadratic(0, 1, 4.0);
+  EXPECT_DOUBLE_EQ(q.Energy({0, 0}), 3.0);
+  EXPECT_DOUBLE_EQ(q.Energy({1, 0}), 5.0);
+  EXPECT_DOUBLE_EQ(q.Energy({0, 1}), 2.0);
+  EXPECT_DOUBLE_EQ(q.Energy({1, 1}), 8.0);
+}
+
+TEST(QuboTest, TermsAccumulate) {
+  Qubo q(2);
+  q.AddLinear(0, 1.0);
+  q.AddLinear(0, 2.5);
+  q.AddQuadratic(0, 1, 1.0);
+  q.AddQuadratic(1, 0, 2.0);  // Order-normalized onto the same key.
+  EXPECT_DOUBLE_EQ(q.linear(0), 3.5);
+  EXPECT_DOUBLE_EQ(q.quadratic(0, 1), 3.0);
+  EXPECT_DOUBLE_EQ(q.quadratic(1, 0), 3.0);
+}
+
+TEST(QuboTest, FlipDeltaMatchesEnergyDifference) {
+  Rng rng(5);
+  Qubo q(6);
+  for (int i = 0; i < 6; ++i) q.AddLinear(i, rng.Uniform(-2, 2));
+  for (int i = 0; i < 6; ++i) {
+    for (int j = i + 1; j < 6; ++j) {
+      if (rng.Bernoulli(0.6)) q.AddQuadratic(i, j, rng.Uniform(-2, 2));
+    }
+  }
+  for (int trial = 0; trial < 20; ++trial) {
+    Assignment x(6);
+    for (int i = 0; i < 6; ++i) x[i] = rng.Bernoulli(0.5);
+    for (int i = 0; i < 6; ++i) {
+      Assignment flipped = x;
+      flipped[i] ^= 1;
+      EXPECT_NEAR(q.FlipDelta(x, i), q.Energy(flipped) - q.Energy(x), 1e-12);
+    }
+  }
+}
+
+TEST(QuboTest, ExactlyOnePenaltyShape) {
+  Qubo q(3);
+  q.AddExactlyOnePenalty({0, 1, 2}, 10.0);
+  // Zero vars selected -> penalty 10; one -> 0; two -> 10; three -> 40.
+  EXPECT_DOUBLE_EQ(q.Energy({0, 0, 0}), 10.0);
+  EXPECT_DOUBLE_EQ(q.Energy({1, 0, 0}), 0.0);
+  EXPECT_DOUBLE_EQ(q.Energy({0, 1, 0}), 0.0);
+  EXPECT_DOUBLE_EQ(q.Energy({1, 1, 0}), 10.0);
+  EXPECT_DOUBLE_EQ(q.Energy({1, 1, 1}), 40.0);
+}
+
+TEST(QuboTest, AtMostOnePenaltyShape) {
+  Qubo q(3);
+  q.AddAtMostOnePenalty({0, 1, 2}, 7.0);
+  EXPECT_DOUBLE_EQ(q.Energy({0, 0, 0}), 0.0);
+  EXPECT_DOUBLE_EQ(q.Energy({1, 0, 0}), 0.0);
+  EXPECT_DOUBLE_EQ(q.Energy({1, 1, 0}), 7.0);
+  EXPECT_DOUBLE_EQ(q.Energy({1, 1, 1}), 21.0);
+}
+
+TEST(QuboTest, NeighborsReflectsQuadraticGraph) {
+  Qubo q(4);
+  q.AddQuadratic(0, 2, 1.0);
+  q.AddQuadratic(2, 3, -1.0);
+  EXPECT_EQ(q.Neighbors(2), (std::vector<int>{0, 3}));
+  EXPECT_TRUE(q.Neighbors(1).empty());
+}
+
+TEST(QuboTest, MaxAbsCoefficient) {
+  Qubo q(3);
+  q.AddLinear(0, -5.0);
+  q.AddQuadratic(1, 2, 3.0);
+  EXPECT_DOUBLE_EQ(q.MaxAbsCoefficient(), 5.0);
+}
+
+TEST(IsingConversionTest, EnergyPreservedBothWays) {
+  Rng rng(11);
+  Qubo q(5);
+  q.AddOffset(rng.Uniform(-1, 1));
+  for (int i = 0; i < 5; ++i) q.AddLinear(i, rng.Uniform(-3, 3));
+  for (int i = 0; i < 5; ++i) {
+    for (int j = i + 1; j < 5; ++j) {
+      if (rng.Bernoulli(0.7)) q.AddQuadratic(i, j, rng.Uniform(-3, 3));
+    }
+  }
+  IsingModel ising = QuboToIsing(q);
+  Qubo round_trip = IsingToQubo(ising);
+
+  for (uint64_t mask = 0; mask < 32; ++mask) {
+    Assignment x(5);
+    std::vector<int> spins(5);
+    for (int i = 0; i < 5; ++i) {
+      x[i] = (mask >> i) & 1;
+      spins[i] = x[i] ? 1 : -1;
+    }
+    EXPECT_NEAR(q.Energy(x), ising.Energy(spins), 1e-12) << "mask " << mask;
+    EXPECT_NEAR(q.Energy(x), round_trip.Energy(x), 1e-12) << "mask " << mask;
+  }
+}
+
+}  // namespace
+}  // namespace anneal
+}  // namespace qdm

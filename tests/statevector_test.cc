@@ -1,0 +1,222 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "qdm/circuit/circuit.h"
+#include "qdm/common/rng.h"
+#include "qdm/sim/statevector.h"
+
+namespace qdm {
+namespace sim {
+namespace {
+
+using circuit::Circuit;
+using circuit::GateKind;
+
+constexpr double kTol = 1e-12;
+
+TEST(StatevectorTest, InitializesToZeroState) {
+  Statevector sv(3);
+  EXPECT_EQ(sv.dimension(), 8u);
+  EXPECT_NEAR(std::abs(sv.amplitude(0) - Complex(1, 0)), 0.0, kTol);
+  EXPECT_NEAR(sv.NormSquared(), 1.0, kTol);
+}
+
+TEST(StatevectorTest, XFlipsQubit) {
+  Statevector sv(2);
+  sv.Apply1Q(circuit::SingleQubitMatrix(GateKind::kX, {}), 0);
+  EXPECT_NEAR(std::abs(sv.amplitude(1) - Complex(1, 0)), 0.0, kTol);
+  sv.Apply1Q(circuit::SingleQubitMatrix(GateKind::kX, {}), 1);
+  EXPECT_NEAR(std::abs(sv.amplitude(3) - Complex(1, 0)), 0.0, kTol);
+}
+
+// Paper Example II.1: |psi> = (|0> + |1>)/sqrt(2) measures 0 or 1 with
+// probability 1/2 each.
+TEST(StatevectorTest, PaperExampleII1_HadamardGivesFiftyFifty) {
+  Statevector sv(1);
+  sv.Apply1Q(circuit::SingleQubitMatrix(GateKind::kH, {}), 0);
+  EXPECT_NEAR(sv.ProbabilityOfOne(0), 0.5, kTol);
+
+  Rng rng(42);
+  int ones = 0;
+  const int shots = 100000;
+  for (int s = 0; s < shots; ++s) {
+    ones += static_cast<int>(sv.SampleBasisState(&rng));
+  }
+  EXPECT_NEAR(ones / static_cast<double>(shots), 0.5, 0.01);
+}
+
+// Paper Example IV.1: Bell state (|00> + |11>)/sqrt(2): outcomes are
+// perfectly correlated.
+TEST(StatevectorTest, PaperExampleIV1_BellStateCorrelations) {
+  Circuit bell(2);
+  bell.H(0).CX(0, 1);
+  Statevector sv = RunCircuit(bell);
+
+  EXPECT_NEAR(std::abs(sv.amplitude(0)), 1 / std::sqrt(2.0), kTol);
+  EXPECT_NEAR(std::abs(sv.amplitude(3)), 1 / std::sqrt(2.0), kTol);
+  EXPECT_NEAR(std::abs(sv.amplitude(1)), 0.0, kTol);
+  EXPECT_NEAR(std::abs(sv.amplitude(2)), 0.0, kTol);
+
+  // Measuring qubit A fixes qubit B ("spooky action at a distance").
+  Rng rng(7);
+  for (int trial = 0; trial < 50; ++trial) {
+    Statevector copy = sv;
+    int a = copy.MeasureQubit(0, &rng);
+    int b = copy.MeasureQubit(1, &rng);
+    EXPECT_EQ(a, b);
+  }
+}
+
+TEST(StatevectorTest, ControlledGateActsOnlyWhenControlSet) {
+  // |10>: control (qubit 1) set -> target flips.
+  Statevector sv(2);
+  sv.Apply1Q(circuit::SingleQubitMatrix(GateKind::kX, {}), 1);
+  sv.ApplyControlled1Q({1}, 0, circuit::SingleQubitMatrix(GateKind::kX, {}));
+  EXPECT_NEAR(std::abs(sv.amplitude(3)), 1.0, kTol);
+
+  // |00>: control clear -> no-op.
+  Statevector sv2(2);
+  sv2.ApplyControlled1Q({1}, 0, circuit::SingleQubitMatrix(GateKind::kX, {}));
+  EXPECT_NEAR(std::abs(sv2.amplitude(0)), 1.0, kTol);
+}
+
+TEST(StatevectorTest, ToffoliTruthTable) {
+  for (uint64_t in = 0; in < 8; ++in) {
+    Statevector sv = Statevector::FromAmplitudes([&] {
+      std::vector<Complex> a(8, Complex(0, 0));
+      a[in] = Complex(1, 0);
+      return a;
+    }());
+    Circuit c(3);
+    c.CCX(0, 1, 2);
+    sv.ApplyCircuit(c);
+    uint64_t expected = in;
+    if ((in & 1) && (in & 2)) expected ^= 4;
+    EXPECT_NEAR(std::abs(sv.amplitude(expected)), 1.0, kTol) << "input " << in;
+  }
+}
+
+TEST(StatevectorTest, SwapExchangesQubits) {
+  // Prepare |01> (qubit 0 = 1), swap -> |10>.
+  Statevector sv(2);
+  sv.Apply1Q(circuit::SingleQubitMatrix(GateKind::kX, {}), 0);
+  sv.ApplySwap(0, 1);
+  EXPECT_NEAR(std::abs(sv.amplitude(2)), 1.0, kTol);
+}
+
+TEST(StatevectorTest, SwapEqualsThreeCnots) {
+  Circuit direct(2), cnots(2);
+  direct.H(0).T(1).Swap(0, 1);
+  cnots.H(0).T(1).CX(0, 1).CX(1, 0).CX(0, 1);
+  Statevector a = RunCircuit(direct);
+  Statevector b = RunCircuit(cnots);
+  EXPECT_NEAR(a.FidelityWith(b), 1.0, 1e-9);
+}
+
+TEST(StatevectorTest, RzzMatchesCxRzCxDecomposition) {
+  const double theta = 0.83;
+  Circuit direct(2), decomposed(2);
+  direct.H(0).H(1).RZZ(0, 1, theta);
+  decomposed.H(0).H(1).CX(0, 1).RZ(1, theta).CX(0, 1);
+  Statevector a = RunCircuit(direct);
+  Statevector b = RunCircuit(decomposed);
+  EXPECT_NEAR(a.FidelityWith(b), 1.0, 1e-9);
+}
+
+TEST(StatevectorTest, DiagonalPhaseMatchesRz) {
+  // RZ(theta) == global-phase * diag(1, e^{i theta}).
+  const double theta = 1.1;
+  Statevector a(1), b(1);
+  a.Apply1Q(circuit::SingleQubitMatrix(GateKind::kH, {}), 0);
+  b.Apply1Q(circuit::SingleQubitMatrix(GateKind::kH, {}), 0);
+  a.Apply1Q(circuit::SingleQubitMatrix(GateKind::kRZ, {theta}), 0);
+  b.ApplyDiagonalPhase([&](uint64_t z) { return z == 1 ? theta : 0.0; });
+  EXPECT_NEAR(a.FidelityWith(b), 1.0, 1e-12);
+}
+
+TEST(StatevectorTest, MeasureQubitCollapses) {
+  Rng rng(5);
+  Circuit c(2);
+  c.H(0).CX(0, 1);
+  Statevector sv = RunCircuit(c);
+  int outcome = sv.MeasureQubit(0, &rng);
+  // After collapse the state is a definite basis state |bb>.
+  EXPECT_NEAR(sv.NormSquared(), 1.0, 1e-12);
+  EXPECT_NEAR(sv.ProbabilityOfOne(0), outcome, 1e-12);
+  EXPECT_NEAR(sv.ProbabilityOfOne(1), outcome, 1e-12);
+}
+
+TEST(StatevectorTest, SampleMatchesProbabilities) {
+  Circuit c(2);
+  c.H(0).RY(1, 2 * std::asin(std::sqrt(0.2)));  // P(q1=1) = 0.2
+  Statevector sv = RunCircuit(c);
+  Rng rng(13);
+  auto counts = sv.Sample(50000, &rng);
+  double p_q1 = 0;
+  for (const auto& [state, n] : counts) {
+    if (state & 2) p_q1 += n;
+  }
+  EXPECT_NEAR(p_q1 / 50000.0, 0.2, 0.01);
+}
+
+TEST(StatevectorTest, ExpectationDiagonal) {
+  Circuit c(2);
+  c.H(0).H(1);  // Uniform over 4 states.
+  Statevector sv = RunCircuit(c);
+  std::vector<double> diag{0.0, 1.0, 2.0, 3.0};
+  EXPECT_NEAR(sv.ExpectationDiagonal(diag), 1.5, 1e-12);
+}
+
+TEST(StatevectorTest, GhzStateHasTwoTerms) {
+  Circuit c(3);
+  c.H(0).CX(0, 1).CX(0, 2);
+  Statevector sv = RunCircuit(c);
+  EXPECT_NEAR(std::abs(sv.amplitude(0)), 1 / std::sqrt(2.0), kTol);
+  EXPECT_NEAR(std::abs(sv.amplitude(7)), 1 / std::sqrt(2.0), kTol);
+}
+
+TEST(StatevectorTest, FromAmplitudesNormalizes) {
+  auto sv = Statevector::FromAmplitudes(
+      {Complex(3, 0), Complex(0, 0), Complex(0, 4), Complex(0, 0)},
+      /*normalize=*/true);
+  EXPECT_NEAR(sv.NormSquared(), 1.0, 1e-12);
+  EXPECT_NEAR(std::abs(sv.amplitude(0)), 0.6, 1e-12);
+}
+
+TEST(StatevectorTest, InnerProductOrthogonalStates) {
+  Statevector a(1), b(1);
+  b.Apply1Q(circuit::SingleQubitMatrix(GateKind::kX, {}), 0);
+  EXPECT_NEAR(std::abs(a.InnerProduct(b)), 0.0, kTol);
+  EXPECT_NEAR(a.FidelityWith(a), 1.0, kTol);
+}
+
+TEST(StatevectorTest, CPhaseIsSymmetric) {
+  const double lambda = 0.77;
+  Circuit a(2), b(2);
+  a.H(0).H(1).CPhase(0, 1, lambda);
+  b.H(0).H(1).CPhase(1, 0, lambda);
+  EXPECT_NEAR(RunCircuit(a).FidelityWith(RunCircuit(b)), 1.0, 1e-12);
+}
+
+TEST(StatevectorTest, ControlledSwapFredkin) {
+  // |1,0,1> with control=qubit2: swaps qubits 0,1 -> |1,1,0>.
+  Statevector sv(3);
+  sv.Apply1Q(circuit::SingleQubitMatrix(GateKind::kX, {}), 2);
+  sv.Apply1Q(circuit::SingleQubitMatrix(GateKind::kX, {}), 0);
+  Circuit c(3);
+  c.CSwap(2, 0, 1);
+  sv.ApplyCircuit(c);
+  EXPECT_NEAR(std::abs(sv.amplitude(0b110)), 1.0, kTol);
+}
+
+TEST(StatevectorTest, CircuitWithUnboundParamsRejected) {
+  Circuit c(1);
+  c.SymbolicRY(0, 0);
+  Statevector sv(1);
+  EXPECT_DEATH(sv.ApplyCircuit(c), "unbound");
+}
+
+}  // namespace
+}  // namespace sim
+}  // namespace qdm
