@@ -7,14 +7,8 @@
 
 #include <cstdio>
 
-#include "qdm/algo/grover_min_sampler.h"
-#include "qdm/algo/qaoa.h"
 #include "qdm/algo/qpe.h"
-#include "qdm/algo/vqe.h"
-#include "qdm/anneal/exact_solver.h"
-#include "qdm/anneal/parallel_tempering.h"
-#include "qdm/anneal/simulated_annealing.h"
-#include "qdm/anneal/tabu_search.h"
+#include "qdm/anneal/solver.h"
 #include "qdm/common/rng.h"
 #include "qdm/common/strings.h"
 #include "qdm/common/table_printer.h"
@@ -33,32 +27,31 @@ int main() {
               "exhaustive optimum %.3f\n\n", qubo.num_variables(), optimum);
 
   qdm::TablePrinter table({"Figure-2 arm", "backend", "best cost", "optimal?"});
-  auto report = [&](const std::string& arm, const std::string& backend,
-                    qdm::anneal::Sampler* sampler, int reads) {
-    qdm::anneal::SampleSet set = sampler->SampleQubo(qubo, reads, &rng);
-    auto decoded = qdm::qopt::DecodeMqoSample(problem, set.best().assignment);
-    table.AddRow({arm, backend,
+  // Every arm is dispatched by registry name — the same MQO instance flows
+  // through interchangeable annealing, classical, and gate-based backends.
+  auto report = [&](const std::string& arm, const std::string& solver_name,
+                    qdm::anneal::SolverOptions options) {
+    options.rng = &rng;
+    auto set = qdm::anneal::SolveWith(solver_name, qubo, options);
+    QDM_CHECK(set.ok()) << set.status();
+    auto decoded = qdm::qopt::DecodeMqoSample(problem, set->best().assignment);
+    table.AddRow({arm, solver_name,
                   decoded.feasible ? qdm::StrFormat("%.3f", decoded.cost)
                                    : "infeasible",
                   decoded.feasible && decoded.cost <= optimum + 1e-9 ? "yes"
                                                                      : "no"});
   };
 
-  qdm::anneal::SimulatedAnnealer sa(qdm::anneal::AnnealSchedule{.num_sweeps = 1000});
-  qdm::anneal::ParallelTempering pt;
-  qdm::anneal::TabuSearch tabu;
-  qdm::anneal::ExactSolver exact;
-  qdm::algo::QaoaSampler qaoa(qdm::algo::QaoaSampler::Options{.layers = 3, .restarts = 3});
-  qdm::algo::VqeSampler vqe(qdm::algo::VqeSampler::Options{.layers = 2, .restarts = 3});
-  qdm::algo::GroverMinSampler grover;
-
-  report("QUBO -> quantum annealer", "simulated anneal", &sa, 40);
-  report("QUBO -> quantum annealer", "parallel tempering", &pt, 10);
-  report("QUBO -> classical heuristic", "tabu search", &tabu, 10);
-  report("QUBO -> ground truth", "exact enumeration", &exact, 1);
-  report("QUBO -> gate-based", "QAOA", &qaoa, 60);
-  report("QUBO -> gate-based", "VQE", &vqe, 60);
-  report("QUBO -> gate-based", "Grover min-search", &grover, 3);
+  report("QUBO -> quantum annealer", "simulated_annealing",
+         {.num_reads = 40, .num_sweeps = 1000});
+  report("QUBO -> quantum annealer", "parallel_tempering", {.num_reads = 10});
+  report("QUBO -> classical heuristic", "tabu_search", {.num_reads = 10});
+  report("QUBO -> ground truth", "exact", {.num_reads = 1});
+  report("QUBO -> gate-based", "qaoa",
+         {.num_reads = 60, .layers = 3, .restarts = 3});
+  report("QUBO -> gate-based", "vqe",
+         {.num_reads = 60, .layers = 2, .restarts = 3});
+  report("QUBO -> gate-based", "grover_min", {.num_reads = 3});
   std::printf("%s\n", table.ToString().c_str());
 
   // QPE demonstration (the remaining algorithm in Figure 2's gate-based box).

@@ -12,8 +12,7 @@
 #include "qdm/algo/qaoa.h"
 #include "qdm/anneal/chimera.h"
 #include "qdm/anneal/embedding.h"
-#include "qdm/anneal/exact_solver.h"
-#include "qdm/anneal/simulated_annealing.h"
+#include "qdm/anneal/solver.h"
 #include "qdm/common/rng.h"
 #include "qdm/common/strings.h"
 #include "qdm/common/table_printer.h"
@@ -45,15 +44,22 @@ int main() {
   // A fixed 8-variable MQO instance for the sweeps.
   qdm::qopt::MqoProblem problem = qdm::qopt::GenerateMqoProblem(4, 2, 0.4, &rng);
   qdm::anneal::Qubo qubo = qdm::qopt::MqoToQubo(problem);
-  const double optimum = qdm::anneal::ExactSolver::Solve(qubo).energy;
+  auto& registry = qdm::anneal::SolverRegistry::Global();
+  auto ground = qdm::anneal::SolveWith("exact", qubo, {.num_reads = 1});
+  QDM_CHECK(ground.ok()) << ground.status();
+  const double optimum = ground->best().energy;
 
-  // (2) Chain-strength sweep on Chimera-embedded annealing.
+  // (2) Chain-strength sweep on Chimera-embedded annealing. The base
+  // annealer comes from the registry and is adapted back to the Sampler
+  // interface for the embedding combinator.
   qdm::TablePrinter chains({"chain strength", "success rate",
                             "mean chain breaks"});
-  qdm::anneal::SimulatedAnnealer base(
-      qdm::anneal::AnnealSchedule{.num_sweeps = 400});
+  auto base_solver = registry.Create("simulated_annealing");
+  QDM_CHECK(base_solver.ok()) << base_solver.status();
+  std::unique_ptr<qdm::anneal::Sampler> base = qdm::anneal::WrapAsSampler(
+      std::move(*base_solver), {.num_sweeps = 400});
   for (double strength : {0.05, 0.2, 1.0, 5.0, 25.0, 125.0}) {
-    qdm::anneal::EmbeddedSampler sampler(&base,
+    qdm::anneal::EmbeddedSampler sampler(base.get(),
                                          qdm::anneal::ChimeraGraph(2, 2, 4),
                                          strength);
     qdm::anneal::SampleSet set = sampler.SampleQubo(qubo, 30, &rng);
@@ -85,7 +91,7 @@ int main() {
                                     // underestimates slightly, which is fine
                                     // for a relative sweep.
     qdm::anneal::Qubo swept = qdm::qopt::MqoToQubo(problem, scale * auto_penalty);
-    qdm::anneal::SampleSet set = base.SampleQubo(swept, 40, &rng);
+    qdm::anneal::SampleSet set = base->SampleQubo(swept, 40, &rng);
     int feasible = 0, optimal_hits = 0;
     for (const auto& s : set.samples()) {
       auto decoded = qdm::qopt::DecodeMqoSample(problem, s.assignment);

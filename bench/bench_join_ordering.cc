@@ -9,8 +9,7 @@
 #include <cmath>
 #include <cstdio>
 
-#include "qdm/anneal/simulated_annealing.h"
-#include "qdm/anneal/tabu_search.h"
+#include "qdm/anneal/solver.h"
 #include "qdm/common/rng.h"
 #include "qdm/common/strings.h"
 #include "qdm/common/table_printer.h"
@@ -40,24 +39,27 @@ int main() {
         log_proxy += std::log(qdm::db::PermutationCost(proxy_best, g) / optimal);
 
         // (a) annealer on the QUBO with repair decoding; effort scales with n.
-        qdm::qopt::JoinOrderQubo encoding(g);
-        qdm::anneal::SimulatedAnnealer annealer(
-            qdm::anneal::AnnealSchedule{.num_sweeps = 300 * n});
-        qdm::anneal::SampleSet samples =
-            annealer.SampleQubo(encoding.qubo(), 4 * n, &rng);
-        if (!encoding.Decode(samples.best().assignment).empty()) ++feasible;
-        std::vector<int> order =
-            encoding.DecodeWithRepair(samples.best().assignment);
-        log_anneal += std::log(qdm::db::PermutationCost(order, g) / optimal);
+        // Both QUBO arms dispatch through the QuboSolver registry (Figure 2's
+        // interchangeable-backend seam).
+        qdm::anneal::SolverOptions anneal_options;
+        anneal_options.num_sweeps = 300 * n;
+        anneal_options.num_reads = 4 * n;
+        anneal_options.rng = &rng;
+        auto annealed = qdm::qopt::SolveJoinOrder(g, "simulated_annealing",
+                                                  anneal_options);
+        QDM_CHECK(annealed.ok()) << annealed.status();
+        if (annealed->strict_feasible) ++feasible;
+        log_anneal +=
+            std::log(qdm::db::PermutationCost(annealed->order, g) / optimal);
 
         // (b) tabu on the same QUBO.
-        qdm::anneal::TabuSearch tabu(
-            qdm::anneal::TabuSearch::Options{.max_iterations = 400 * n});
-        qdm::anneal::SampleSet tabu_samples =
-            tabu.SampleQubo(encoding.qubo(), 2 * n, &rng);
-        std::vector<int> tabu_order =
-            encoding.DecodeWithRepair(tabu_samples.best().assignment);
-        log_tabu += std::log(qdm::db::PermutationCost(tabu_order, g) / optimal);
+        qdm::anneal::SolverOptions tabu_options;
+        tabu_options.max_iterations = 400 * n;
+        tabu_options.num_reads = 2 * n;
+        tabu_options.rng = &rng;
+        auto tabu = qdm::qopt::SolveJoinOrder(g, "tabu_search", tabu_options);
+        QDM_CHECK(tabu.ok()) << tabu.status();
+        log_tabu += std::log(qdm::db::PermutationCost(tabu->order, g) / optimal);
 
         // (d, e) classical baselines.
         log_greedy += std::log(qdm::db::GreedyOperatorOrdering(g).cost / optimal);

@@ -12,8 +12,7 @@
 #include <chrono>
 #include <cstdio>
 
-#include "qdm/anneal/parallel_tempering.h"
-#include "qdm/anneal/tabu_search.h"
+#include "qdm/anneal/solver.h"
 #include "qdm/common/rng.h"
 #include "qdm/common/strings.h"
 #include "qdm/common/table_printer.h"
@@ -46,28 +45,37 @@ int main() {
       const double exhaustive_ms = MillisSince(start_exhaustive);
 
       qdm::anneal::Qubo qubo = qdm::qopt::MqoToQubo(problem);
+      auto& registry = qdm::anneal::SolverRegistry::Global();
 
       // Annealer stand-in: parallel tempering, reads scaled with size.
-      qdm::anneal::ParallelTempering annealer(
-          qdm::anneal::ParallelTempering::Options{.num_replicas = 12,
-                                                  .num_sweeps = 500});
+      auto annealer = registry.Create("parallel_tempering");
+      QDM_CHECK(annealer.ok()) << annealer.status();
+      qdm::anneal::SolverOptions pt_options;
+      pt_options.num_replicas = 12;
+      pt_options.num_sweeps = 500;
+      pt_options.num_reads = 2 * queries;
+      pt_options.rng = &rng;
       auto start_anneal = std::chrono::steady_clock::now();
-      qdm::anneal::SampleSet samples =
-          annealer.SampleQubo(qubo, 2 * queries, &rng);
+      auto samples = (*annealer)->Solve(qubo, pt_options);
       const double anneal_ms = MillisSince(start_anneal);
+      QDM_CHECK(samples.ok()) << samples.status();
       qdm::qopt::MqoSolution annealed =
-          qdm::qopt::DecodeMqoSample(problem, samples.best().assignment);
+          qdm::qopt::DecodeMqoSample(problem, samples->best().assignment);
 
       // Hybrid-pipeline arm: tabu on the same QUBO (the classical component
       // real annealer pipelines use for post-processing, cf. qbsolv).
-      qdm::anneal::TabuSearch tabu(
-          qdm::anneal::TabuSearch::Options{.max_iterations = 2000});
+      auto tabu = registry.Create("tabu_search");
+      QDM_CHECK(tabu.ok()) << tabu.status();
+      qdm::anneal::SolverOptions tabu_options;
+      tabu_options.max_iterations = 2000;
+      tabu_options.num_reads = 2 * queries;
+      tabu_options.rng = &rng;
       auto start_tabu = std::chrono::steady_clock::now();
-      qdm::anneal::SampleSet tabu_samples =
-          tabu.SampleQubo(qubo, 2 * queries, &rng);
+      auto tabu_samples = (*tabu)->Solve(qubo, tabu_options);
       const double tabu_ms = MillisSince(start_tabu);
+      QDM_CHECK(tabu_samples.ok()) << tabu_samples.status();
       qdm::qopt::MqoSolution tabu_solution =
-          qdm::qopt::DecodeMqoSample(problem, tabu_samples.best().assignment);
+          qdm::qopt::DecodeMqoSample(problem, tabu_samples->best().assignment);
 
       table.AddRow({qdm::StrFormat("%d", queries),
                     qdm::StrFormat("%.1f", sharing),

@@ -5,9 +5,7 @@
 
 #include <cstdio>
 
-#include "qdm/algo/qaoa.h"
-#include "qdm/anneal/exact_solver.h"
-#include "qdm/anneal/simulated_annealing.h"
+#include "qdm/anneal/solver.h"
 #include "qdm/common/rng.h"
 #include "qdm/common/strings.h"
 #include "qdm/common/table_printer.h"
@@ -27,28 +25,37 @@ int main() {
         hungarian += qdm::qopt::HungarianMatching(problem).total_similarity;
         greedy += qdm::qopt::GreedyMatching(problem).total_similarity;
 
-        qdm::anneal::Qubo qubo = qdm::qopt::SchemaMatchingToQubo(problem);
-        if (qubo.num_variables() <= 25) {
-          auto ground = qdm::anneal::ExactSolver::Solve(qubo);
-          exact += qdm::qopt::DecodeMatching(problem, ground.assignment)
-                       .total_similarity;
+        // All QUBO arms dispatch by name through the QuboSolver registry.
+        if (problem.num_variables() <= 25) {
+          qdm::anneal::SolverOptions exact_options;
+          exact_options.num_reads = 1;
+          auto ground = qdm::qopt::SolveSchemaMatching(problem, "exact",
+                                                       exact_options);
+          QDM_CHECK(ground.ok()) << ground.status();
+          exact += ground->total_similarity;
         }
 
-        qdm::anneal::SimulatedAnnealer annealer(
-            qdm::anneal::AnnealSchedule{.num_sweeps = 600});
-        auto samples = annealer.SampleQubo(qubo, 20, &rng);
-        auto decoded =
-            qdm::qopt::DecodeMatching(problem, samples.best().assignment);
-        anneal += decoded.feasible ? decoded.total_similarity : 0.0;
+        qdm::anneal::SolverOptions anneal_options;
+        anneal_options.num_sweeps = 600;
+        anneal_options.num_reads = 20;
+        anneal_options.rng = &rng;
+        auto decoded = qdm::qopt::SolveSchemaMatching(
+            problem, "simulated_annealing", anneal_options);
+        QDM_CHECK(decoded.ok()) << decoded.status();
+        anneal += decoded->feasible ? decoded->total_similarity : 0.0;
 
         // QAOA only on the smallest instances (n*n simulated qubits).
         if (n <= 4) {
-          qdm::algo::QaoaSampler sampler(
-              qdm::algo::QaoaSampler::Options{.layers = 2, .restarts = 2});
-          auto qaoa_samples = sampler.SampleQubo(qubo, 30, &rng);
+          qdm::anneal::SolverOptions qaoa_options;
+          qaoa_options.layers = 2;
+          qaoa_options.restarts = 2;
+          qaoa_options.num_reads = 30;
+          qaoa_options.rng = &rng;
           auto qaoa_decoded =
-              qdm::qopt::DecodeMatching(problem, qaoa_samples.best().assignment);
-          qaoa_sim += qaoa_decoded.feasible ? qaoa_decoded.total_similarity : 0.0;
+              qdm::qopt::SolveSchemaMatching(problem, "qaoa", qaoa_options);
+          QDM_CHECK(qaoa_decoded.ok()) << qaoa_decoded.status();
+          qaoa_sim +=
+              qaoa_decoded->feasible ? qaoa_decoded->total_similarity : 0.0;
         }
       }
       table.AddRow(

@@ -19,11 +19,7 @@
 
 #include <cstdio>
 
-#include "qdm/algo/grover_min_sampler.h"
-#include "qdm/algo/qaoa.h"
-#include "qdm/algo/vqe.h"
-#include "qdm/anneal/exact_solver.h"
-#include "qdm/anneal/parallel_tempering.h"
+#include "qdm/anneal/solver.h"
 #include "qdm/common/rng.h"
 #include "qdm/common/strings.h"
 #include "qdm/common/table_printer.h"
@@ -50,21 +46,28 @@ int main() {
   qdm::TablePrinter table({"ref", "DB problem", "formulation", "algorithm",
                            "backend", "qubits", "result"});
 
-  qdm::anneal::ParallelTempering annealer(
-      qdm::anneal::ParallelTempering::Options{.num_replicas = 12,
-                                              .num_sweeps = 500});
-  qdm::algo::QaoaSampler qaoa(
-      qdm::algo::QaoaSampler::Options{.layers = 3, .restarts = 4});
-  qdm::algo::VqeSampler vqe(
-      qdm::algo::VqeSampler::Options{.layers = 3, .restarts = 4});
-  qdm::algo::GroverMinSampler grover;
+  // Every backend is dispatched by name through the QuboSolver registry.
+  auto sample = [&rng](const std::string& solver_name,
+                       const qdm::anneal::Qubo& qubo,
+                       qdm::anneal::SolverOptions options) {
+    options.rng = &rng;
+    auto set = qdm::anneal::SolveWith(solver_name, qubo, options);
+    QDM_CHECK(set.ok()) << solver_name << ": " << set.status();
+    return std::move(set).value();
+  };
+  const qdm::anneal::SolverOptions kAnnealerOptions{.num_reads = 20,
+                                                    .num_sweeps = 500,
+                                                    .num_replicas = 12};
+  const qdm::anneal::SolverOptions kQaoaOptions{.num_reads = 100,
+                                                .layers = 3,
+                                                .restarts = 4};
 
   // ---- [20] MQO on the annealer: D-Wave-scale instance (27 qubits). -------
   {
     qdm::qopt::MqoProblem mqo = qdm::qopt::GenerateMqoProblem(9, 3, 0.3, &rng);
     qdm::anneal::Qubo qubo = qdm::qopt::MqoToQubo(mqo);
     const double optimum = qdm::qopt::ExhaustiveMqo(mqo).cost;
-    auto s = annealer.SampleQubo(qubo, 20, &rng);
+    auto s = sample("parallel_tempering", qubo, kAnnealerOptions);
     auto d = qdm::qopt::DecodeMqoSample(mqo, s.best().assignment);
     table.AddRow({"[20]", "multiple query optimization", "QUBO", "--",
                   "annealing", qdm::StrFormat("%d", qubo.num_variables()),
@@ -75,7 +78,7 @@ int main() {
     qdm::qopt::MqoProblem mqo = qdm::qopt::GenerateMqoProblem(3, 2, 0.4, &rng);
     qdm::anneal::Qubo qubo = qdm::qopt::MqoToQubo(mqo);
     const double optimum = qdm::qopt::ExhaustiveMqo(mqo).cost;
-    auto s = qaoa.SampleQubo(qubo, 100, &rng);
+    auto s = sample("qaoa", qubo, kQaoaOptions);
     auto d = qdm::qopt::DecodeMqoSample(mqo, s.best().assignment);
     table.AddRow({"[21,22]", "multiple query optimization", "QUBO", "QAOA",
                   "gate-based", qdm::StrFormat("%d", qubo.num_variables()),
@@ -89,7 +92,7 @@ int main() {
     qdm::qopt::JoinOrderQubo enc_small(small);
     const double opt_small = qdm::qopt::LogCostProxy(
         qdm::qopt::OptimalOrderUnderProxy(small), small);
-    auto s = qaoa.SampleQubo(enc_small.qubo(), 100, &rng);
+    auto s = sample("qaoa", enc_small.qubo(), kQaoaOptions);
     auto order = enc_small.DecodeWithRepair(s.best().assignment);
     table.AddRow({"[23-25]", "join ordering (left-deep)", "MILP/BILP->QUBO",
                   "QAOA", "gate-based", "9",
@@ -99,7 +102,8 @@ int main() {
     qdm::qopt::JoinOrderQubo enc_larger(larger);
     const double opt_larger = qdm::qopt::LogCostProxy(
         qdm::qopt::OptimalOrderUnderProxy(larger), larger);
-    auto sa = annealer.SampleQubo(enc_larger.qubo(), 30, &rng);
+    auto sa = sample("parallel_tempering", enc_larger.qubo(),
+                     {.num_reads = 30, .num_sweeps = 500, .num_replicas = 12});
     auto sa_order = enc_larger.DecodeWithRepair(sa.best().assignment);
     table.AddRow({"[23-25]", "join ordering (left-deep)", "MILP/BILP->QUBO",
                   "--", "annealing", "16",
@@ -107,7 +111,8 @@ int main() {
                           opt_larger)});
 
     // ---- [26] bushy-target join ordering via VQE (9 qubits). ----------------
-    auto v = vqe.SampleQubo(enc_small.qubo(), 100, &rng);
+    auto v = sample("vqe", enc_small.qubo(),
+                    {.num_reads = 100, .layers = 3, .restarts = 4});
     auto v_order = enc_small.DecodeWithRepair(v.best().assignment);
     table.AddRow({"[26]", "join ordering (bushy target)", "QUBO", "VQE",
                   "gate-based", "9",
@@ -130,9 +135,8 @@ int main() {
     qdm::anneal::Qubo small_qubo = qdm::qopt::SchemaMatchingToQubo(small);
     const double small_opt =
         -qdm::qopt::HungarianMatching(small).total_similarity;
-    qdm::algo::QaoaSampler matching_qaoa(
-        qdm::algo::QaoaSampler::Options{.layers = 4, .restarts = 6});
-    auto s = matching_qaoa.SampleQubo(small_qubo, 200, &rng);
+    auto s = sample("qaoa", small_qubo,
+                    {.num_reads = 200, .layers = 4, .restarts = 6});
     auto d = qdm::qopt::DecodeMatching(small, s.best().assignment);
     table.AddRow({"[28]", "schema matching", "QUBO", "QAOA", "gate-based", "9",
                   Verdict(d.feasible, -d.total_similarity, small_opt)});
@@ -141,7 +145,7 @@ int main() {
     qdm::anneal::Qubo larger_qubo = qdm::qopt::SchemaMatchingToQubo(larger);
     const double larger_opt =
         -qdm::qopt::HungarianMatching(larger).total_similarity;
-    auto sa = annealer.SampleQubo(larger_qubo, 20, &rng);
+    auto sa = sample("parallel_tempering", larger_qubo, kAnnealerOptions);
     auto dsa = qdm::qopt::DecodeMatching(larger, sa.best().assignment);
     table.AddRow({"[28]", "schema matching", "QUBO", "--", "annealing", "25",
                   Verdict(dsa.feasible, -dsa.total_similarity, larger_opt)});
@@ -165,12 +169,13 @@ int main() {
                             schedule.makespan, best_makespan);
     };
 
-    auto s = annealer.SampleQubo(qubo, 30, &rng);
+    auto s = sample("parallel_tempering", qubo,
+                    {.num_reads = 30, .num_sweeps = 500, .num_replicas = 12});
     table.AddRow({"[29,30]", "transaction scheduling (2PL)", "QUBO", "--",
                   "annealing", qdm::StrFormat("%d", qubo.num_variables()),
                   verdict(s.best())});
     if (qubo.num_variables() <= 18) {
-      auto g = grover.SampleQubo(qubo, 3, &rng);
+      auto g = sample("grover_min", qubo, {.num_reads = 3});
       table.AddRow({"[31]", "transaction scheduling (2PL)", "QUBO",
                     "Grover min-search", "gate-based",
                     qdm::StrFormat("%d", qubo.num_variables()),

@@ -6,8 +6,7 @@
 
 #include <cstdio>
 
-#include "qdm/algo/grover_min_sampler.h"
-#include "qdm/anneal/simulated_annealing.h"
+#include "qdm/anneal/solver.h"
 #include "qdm/common/rng.h"
 #include "qdm/common/strings.h"
 #include "qdm/common/table_printer.h"
@@ -42,28 +41,33 @@ int main() {
                          .total_wait_steps;
       greedy_span += greedy.makespan;
 
-      qdm::anneal::Qubo qubo = qdm::qopt::TxnScheduleToQubo(problem);
-      qdm::anneal::SimulatedAnnealer annealer(
-          qdm::anneal::AnnealSchedule{.num_sweeps = 1500});
-      auto samples = annealer.SampleQubo(qubo, 30, &rng);
-      auto annealed = qdm::qopt::DecodeSchedule(problem, samples.best().assignment);
-      if (annealed.feasible) {
-        anneal_wait += qdm::qopt::SimulateTwoPhaseLocking(problem, annealed)
+      // Both quantum arms dispatch through the QuboSolver registry.
+      qdm::anneal::SolverOptions anneal_options;
+      anneal_options.num_sweeps = 1500;
+      anneal_options.num_reads = 30;
+      anneal_options.rng = &rng;
+      auto annealed = qdm::qopt::SolveTxnSchedule(problem, "simulated_annealing",
+                                                  anneal_options);
+      QDM_CHECK(annealed.ok()) << annealed.status();
+      if (annealed->feasible) {
+        anneal_wait += qdm::qopt::SimulateTwoPhaseLocking(problem, *annealed)
                            .total_wait_steps;
-        anneal_span += annealed.makespan;
+        anneal_span += annealed->makespan;
       }
 
       // Grover minimum search (Groppe & Groppe '21) where the register fits.
-      if (qubo.num_variables() <= 16) {
+      if (problem.num_variables() <= 16) {
         grover_ran = true;
-        qdm::algo::GroverMinSampler grover;
-        auto gsamples = grover.SampleQubo(qubo, 3, &rng);
+        qdm::anneal::SolverOptions grover_options;
+        grover_options.num_reads = 3;
+        grover_options.rng = &rng;
         auto gschedule =
-            qdm::qopt::DecodeSchedule(problem, gsamples.best().assignment);
-        if (gschedule.feasible) {
-          grover_wait += qdm::qopt::SimulateTwoPhaseLocking(problem, gschedule)
+            qdm::qopt::SolveTxnSchedule(problem, "grover_min", grover_options);
+        QDM_CHECK(gschedule.ok()) << gschedule.status();
+        if (gschedule->feasible) {
+          grover_wait += qdm::qopt::SimulateTwoPhaseLocking(problem, *gschedule)
                              .total_wait_steps;
-          grover_span += gschedule.makespan;
+          grover_span += gschedule->makespan;
         }
       }
     }

@@ -8,8 +8,7 @@
 
 #include <cstdio>
 
-#include "qdm/algo/qaoa.h"
-#include "qdm/anneal/simulated_annealing.h"
+#include "qdm/anneal/solver.h"
 #include "qdm/common/rng.h"
 #include "qdm/common/strings.h"
 #include "qdm/common/table_printer.h"
@@ -45,25 +44,31 @@ int main() {
   qdm::db::PlanResult dp = qdm::db::OptimalLeftDeepPlan(graph);
   const uint64_t reference = report_plan("DP (optimal)", dp.tree);
 
-  // 2. QUBO + simulated annealing (the annealer arm of Figure 2).
-  qdm::qopt::JoinOrderQubo encoding(graph);
-  qdm::anneal::SimulatedAnnealer annealer(
-      qdm::anneal::AnnealSchedule{.num_sweeps = 800});
-  qdm::anneal::SampleSet samples =
-      annealer.SampleQubo(encoding.qubo(), 30, &rng);
-  std::vector<int> sa_order = encoding.DecodeWithRepair(samples.best().assignment);
-  QDM_CHECK(report_plan("QUBO+anneal", qdm::db::LeftDeepFromPermutation(sa_order)) ==
+  // 2. QUBO + simulated annealing (the annealer arm of Figure 2), dispatched
+  // through the QuboSolver registry.
+  qdm::anneal::SolverOptions anneal_options;
+  anneal_options.num_sweeps = 800;
+  anneal_options.num_reads = 30;
+  anneal_options.rng = &rng;
+  auto annealed =
+      qdm::qopt::SolveJoinOrder(graph, "simulated_annealing", anneal_options);
+  QDM_CHECK(annealed.ok()) << annealed.status();
+  QDM_CHECK(report_plan("QUBO+anneal",
+                        qdm::db::LeftDeepFromPermutation(annealed->order)) ==
             reference)
       << "plans must agree on the output relation";
 
-  // 3. QAOA (gate-based arm). 16 QUBO variables = 16 simulated qubits.
-  qdm::algo::QaoaSampler qaoa(
-      qdm::algo::QaoaSampler::Options{.layers = 2, .restarts = 2});
-  qdm::anneal::SampleSet qaoa_samples =
-      qaoa.SampleQubo(encoding.qubo(), 40, &rng);
-  std::vector<int> qaoa_order =
-      encoding.DecodeWithRepair(qaoa_samples.best().assignment);
-  QDM_CHECK(report_plan("QAOA", qdm::db::LeftDeepFromPermutation(qaoa_order)) ==
+  // 3. QAOA (gate-based arm): same pipeline, different registry name.
+  // 16 QUBO variables = 16 simulated qubits.
+  qdm::anneal::SolverOptions qaoa_options;
+  qaoa_options.num_reads = 40;
+  qaoa_options.layers = 2;
+  qaoa_options.restarts = 2;
+  qaoa_options.rng = &rng;
+  auto qaoa_solved = qdm::qopt::SolveJoinOrder(graph, "qaoa", qaoa_options);
+  QDM_CHECK(qaoa_solved.ok()) << qaoa_solved.status();
+  QDM_CHECK(report_plan("QAOA",
+                        qdm::db::LeftDeepFromPermutation(qaoa_solved->order)) ==
             reference);
 
   // 4. VQC reinforcement learning (Winker et al.).

@@ -7,8 +7,7 @@
 #include <cstdio>
 
 #include "qdm/algo/grover.h"
-#include "qdm/anneal/exact_solver.h"
-#include "qdm/anneal/simulated_annealing.h"
+#include "qdm/anneal/solver.h"
 #include "qdm/circuit/circuit.h"
 #include "qdm/common/rng.h"
 #include "qdm/qdb/quantum_database.h"
@@ -59,12 +58,16 @@ int main() {
   std::printf("== 4. Multiple query optimization via QUBO + annealing ==\n");
   qdm::qopt::MqoProblem mqo = qdm::qopt::GenerateMqoProblem(
       /*num_queries=*/4, /*plans_per_query=*/3, /*sharing_density=*/0.3, &rng);
-  qdm::anneal::Qubo qubo = qdm::qopt::MqoToQubo(mqo);
-  qdm::anneal::SimulatedAnnealer annealer(
-      qdm::anneal::AnnealSchedule{.num_sweeps = 1000});
-  qdm::anneal::SampleSet samples = annealer.SampleQubo(qubo, 50, &rng);
-  qdm::qopt::MqoSolution solution =
-      qdm::qopt::DecodeMqoSample(mqo, samples.best().assignment);
+  // The application never names a solver class: it asks the registry for the
+  // "simulated_annealing" backend (swap the string for "tabu_search", "qaoa",
+  // ... to change the Figure-2 arm).
+  qdm::anneal::SolverOptions options;
+  options.num_reads = 50;
+  options.num_sweeps = 1000;
+  options.rng = &rng;
+  auto solved = qdm::qopt::SolveMqo(mqo, "simulated_annealing", options);
+  QDM_CHECK(solved.ok()) << solved.status();
+  qdm::qopt::MqoSolution solution = *solved;
   qdm::qopt::MqoSolution optimal = qdm::qopt::ExhaustiveMqo(mqo);
   std::printf("annealer selection cost: %.2f (exhaustive optimum %.2f)\n",
               solution.cost, optimal.cost);

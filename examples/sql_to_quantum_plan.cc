@@ -7,7 +7,7 @@
 
 #include <cstdio>
 
-#include "qdm/anneal/simulated_annealing.h"
+#include "qdm/anneal/solver.h"
 #include "qdm/common/rng.h"
 #include "qdm/db/executor.h"
 #include "qdm/db/join_optimizer.h"
@@ -54,13 +54,16 @@ int main() {
   // Classical reference.
   qdm::db::PlanResult dp = qdm::db::OptimalLeftDeepPlan(*graph);
 
-  // Quantum path: QUBO -> annealer -> decoded order.
-  qdm::qopt::JoinOrderQubo encoding(*graph);
-  qdm::anneal::SimulatedAnnealer annealer(
-      qdm::anneal::AnnealSchedule{.num_sweeps = 800});
-  qdm::anneal::SampleSet samples = annealer.SampleQubo(encoding.qubo(), 30, &rng);
-  std::vector<int> order = encoding.DecodeWithRepair(samples.best().assignment);
-  qdm::db::JoinTreeRef quantum_plan = qdm::db::LeftDeepFromPermutation(order);
+  // Quantum path: QUBO -> registry-dispatched annealer -> decoded order.
+  qdm::anneal::SolverOptions options;
+  options.num_reads = 30;
+  options.num_sweeps = 800;
+  options.rng = &rng;
+  auto solved =
+      qdm::qopt::SolveJoinOrder(*graph, "simulated_annealing", options);
+  QDM_CHECK(solved.ok()) << solved.status();
+  qdm::db::JoinTreeRef quantum_plan =
+      qdm::db::LeftDeepFromPermutation(solved->order);
 
   auto dp_result = qdm::db::ExecuteJoinTree(dp.tree, *graph, catalog);
   auto quantum_result = qdm::db::ExecuteJoinTree(quantum_plan, *graph, catalog);

@@ -6,7 +6,7 @@
 
 #include <cstdio>
 
-#include "qdm/anneal/simulated_annealing.h"
+#include "qdm/anneal/solver.h"
 #include "qdm/common/rng.h"
 #include "qdm/common/strings.h"
 #include "qdm/common/table_printer.h"
@@ -53,15 +53,17 @@ int main() {
   // Classical: greedy conflict-graph coloring.
   evaluate("greedy coloring", qdm::qopt::GreedyColoringSchedule(problem), &table);
 
-  // Quantum annealer path: QUBO + simulated annealing.
-  qdm::anneal::Qubo qubo = qdm::qopt::TxnScheduleToQubo(problem);
-  qdm::anneal::SimulatedAnnealer annealer(
-      qdm::anneal::AnnealSchedule{.num_sweeps = 1500});
-  qdm::anneal::SampleSet samples = annealer.SampleQubo(qubo, 40, &rng);
-  qdm::qopt::Schedule annealed =
-      qdm::qopt::DecodeSchedule(problem, samples.best().assignment);
-  QDM_CHECK(annealed.feasible);
-  evaluate("QUBO + annealer", annealed, &table);
+  // Quantum annealer path: QUBO + simulated annealing, dispatched through
+  // the QuboSolver registry.
+  qdm::anneal::SolverOptions options;
+  options.num_reads = 40;
+  options.num_sweeps = 1500;
+  options.rng = &rng;
+  auto annealed =
+      qdm::qopt::SolveTxnSchedule(problem, "simulated_annealing", options);
+  QDM_CHECK(annealed.ok()) << annealed.status();
+  QDM_CHECK(annealed->feasible);
+  evaluate("QUBO + annealer", *annealed, &table);
 
   std::printf("%s\nA schedule with zero co-located conflicts never blocks "
               "under strict 2PL.\n", table.ToString().c_str());

@@ -48,8 +48,7 @@ sim::Statevector Qaoa::StateForParameters(
   for (int l = 0; l < layers_; ++l) {
     const double gamma = params[l];
     const double beta = params[layers_ + l];
-    sv.ApplyDiagonalPhase(
-        [&](uint64_t z) { return -gamma * diagonal_[z]; });
+    sv.ApplyDiagonalPhase(diagonal_, -gamma);
     const linalg::Matrix rx =
         circuit::SingleQubitMatrix(circuit::GateKind::kRX, {2 * beta});
     for (int q = 0; q < num_qubits_; ++q) sv.Apply1Q(rx, q);

@@ -1,0 +1,237 @@
+#include "qdm/anneal/solver.h"
+
+#include <optional>
+#include <utility>
+
+#include "qdm/anneal/exact_solver.h"
+#include "qdm/anneal/parallel_tempering.h"
+#include "qdm/anneal/simulated_annealing.h"
+#include "qdm/anneal/tabu_search.h"
+#include "qdm/common/strings.h"
+
+namespace qdm {
+namespace anneal {
+
+Rng* ResolveSolverRng(const SolverOptions& options,
+                      std::optional<Rng>* storage) {
+  if (options.rng != nullptr) return options.rng;
+  if (options.seed != 0) {
+    storage->emplace(options.seed);
+  } else {
+    storage->emplace();
+  }
+  return &storage->value();
+}
+
+Status ValidateSolverOptions(const SolverOptions& options) {
+  if (options.num_reads <= 0) {
+    return Status::InvalidArgument(
+        StrFormat("num_reads must be positive, got %d", options.num_reads));
+  }
+  // The inverse-temperature ladder is auto-scaled when unset (both <= 0);
+  // a half-set pair is a misuse the annealing backends would otherwise turn
+  // into an abort (simulated_annealing) or NaN betas (parallel_tempering).
+  const bool min_set = options.beta_min > 0.0;
+  const bool max_set = options.beta_max > 0.0;
+  if (options.beta_min < 0.0 || options.beta_max < 0.0) {
+    return Status::InvalidArgument(
+        StrFormat("beta_min/beta_max must be non-negative, got %g/%g",
+                  options.beta_min, options.beta_max));
+  }
+  if (min_set != max_set) {
+    return Status::InvalidArgument(StrFormat(
+        "beta_min and beta_max must be set together (got %g/%g); leave both "
+        "at 0 for auto-scaling",
+        options.beta_min, options.beta_max));
+  }
+  if (min_set && options.beta_min > options.beta_max) {
+    return Status::InvalidArgument(
+        StrFormat("beta_min (%g) must not exceed beta_max (%g)",
+                  options.beta_min, options.beta_max));
+  }
+  return Status::Ok();
+}
+
+namespace {
+
+class SimulatedAnnealingSolver : public QuboSolver {
+ public:
+  Result<SampleSet> Solve(const Qubo& qubo,
+                          const SolverOptions& options) override {
+    QDM_RETURN_IF_ERROR(ValidateSolverOptions(options));
+    AnnealSchedule schedule;
+    if (options.num_sweeps > 0) schedule.num_sweeps = options.num_sweeps;
+    schedule.beta_min = options.beta_min;
+    schedule.beta_max = options.beta_max;
+    SimulatedAnnealer annealer(schedule);
+    std::optional<Rng> local;
+    return annealer.SampleQubo(qubo, options.num_reads,
+                               ResolveSolverRng(options, &local));
+  }
+  std::string name() const override { return "simulated_annealing"; }
+};
+
+class ParallelTemperingSolver : public QuboSolver {
+ public:
+  Result<SampleSet> Solve(const Qubo& qubo,
+                          const SolverOptions& options) override {
+    QDM_RETURN_IF_ERROR(ValidateSolverOptions(options));
+    ParallelTempering::Options pt;
+    if (options.num_replicas > 0) pt.num_replicas = options.num_replicas;
+    if (options.num_sweeps > 0) pt.num_sweeps = options.num_sweeps;
+    if (options.swap_interval > 0) pt.swap_interval = options.swap_interval;
+    pt.beta_min = options.beta_min;
+    pt.beta_max = options.beta_max;
+    ParallelTempering sampler(pt);
+    std::optional<Rng> local;
+    return sampler.SampleQubo(qubo, options.num_reads,
+                              ResolveSolverRng(options, &local));
+  }
+  std::string name() const override { return "parallel_tempering"; }
+};
+
+class TabuSearchSolver : public QuboSolver {
+ public:
+  Result<SampleSet> Solve(const Qubo& qubo,
+                          const SolverOptions& options) override {
+    QDM_RETURN_IF_ERROR(ValidateSolverOptions(options));
+    TabuSearch::Options tabu;
+    if (options.max_iterations > 0) tabu.max_iterations = options.max_iterations;
+    if (options.tenure > 0) tabu.tenure = options.tenure;
+    TabuSearch sampler(tabu);
+    std::optional<Rng> local;
+    return sampler.SampleQubo(qubo, options.num_reads,
+                              ResolveSolverRng(options, &local));
+  }
+  std::string name() const override { return "tabu_search"; }
+};
+
+class ExactQuboSolver : public QuboSolver {
+ public:
+  static constexpr int kMaxVariables = 30;
+
+  Result<SampleSet> Solve(const Qubo& qubo,
+                          const SolverOptions& options) override {
+    QDM_RETURN_IF_ERROR(ValidateSolverOptions(options));
+    if (qubo.num_variables() > kMaxVariables) {
+      return Status::InvalidArgument(StrFormat(
+          "exact solver enumerates 2^n assignments; %d variables exceed the "
+          "%d-variable limit",
+          qubo.num_variables(), kMaxVariables));
+    }
+    ExactSolver solver;
+    std::optional<Rng> local;
+    return solver.SampleQubo(qubo, options.num_reads,
+                             ResolveSolverRng(options, &local));
+  }
+  std::string name() const override { return "exact"; }
+};
+
+/// Presents a QuboSolver as a Sampler (see WrapAsSampler).
+class SolverSampler : public Sampler {
+ public:
+  SolverSampler(std::unique_ptr<QuboSolver> solver, SolverOptions options)
+      : solver_(std::move(solver)), options_(options) {}
+
+  SampleSet SampleQubo(const Qubo& qubo, int num_reads, Rng* rng) override {
+    SolverOptions options = options_;
+    options.num_reads = num_reads;
+    options.rng = rng;
+    Result<SampleSet> result = solver_->Solve(qubo, options);
+    QDM_CHECK(result.ok()) << solver_->name()
+                           << " failed inside a Sampler context: "
+                           << result.status();
+    return std::move(result).value();
+  }
+
+  std::string name() const override { return solver_->name(); }
+
+ private:
+  std::unique_ptr<QuboSolver> solver_;
+  SolverOptions options_;
+};
+
+}  // namespace
+
+SolverRegistry& SolverRegistry::Global() {
+  static SolverRegistry* registry = new SolverRegistry();
+  return *registry;
+}
+
+SolverRegistry::SolverRegistry() {
+  factories_["simulated_annealing"] = [] {
+    return std::make_unique<SimulatedAnnealingSolver>();
+  };
+  factories_["parallel_tempering"] = [] {
+    return std::make_unique<ParallelTemperingSolver>();
+  };
+  factories_["tabu_search"] = [] { return std::make_unique<TabuSearchSolver>(); };
+  factories_["exact"] = [] { return std::make_unique<ExactQuboSolver>(); };
+}
+
+Status SolverRegistry::Register(const std::string& name, Factory factory) {
+  QDM_CHECK(factory != nullptr) << "null factory for solver " << name;
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (factories_.count(name) > 0) {
+    return Status::AlreadyExists(
+        StrFormat("solver '%s' is already registered", name.c_str()));
+  }
+  factories_[name] = std::move(factory);
+  return Status::Ok();
+}
+
+bool SolverRegistry::Contains(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return factories_.count(name) > 0;
+}
+
+std::vector<std::string> SolverRegistry::RegisteredNames() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::string> names;
+  names.reserve(factories_.size());
+  for (const auto& [name, factory] : factories_) names.push_back(name);
+  return names;
+}
+
+Result<std::unique_ptr<QuboSolver>> SolverRegistry::Create(
+    const std::string& name) const {
+  Factory factory;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = factories_.find(name);
+    if (it != factories_.end()) factory = it->second;
+  }
+  if (factory == nullptr) {
+    return Status::NotFound(StrFormat(
+        "no QUBO solver registered under '%s' (registered: %s)", name.c_str(),
+        StrJoin(RegisteredNames(), ", ").c_str()));
+  }
+  return factory();
+}
+
+Result<SampleSet> SolveWith(const std::string& solver_name, const Qubo& qubo,
+                            const SolverOptions& options) {
+  QDM_ASSIGN_OR_RETURN(std::unique_ptr<QuboSolver> solver,
+                       SolverRegistry::Global().Create(solver_name));
+  return solver->Solve(qubo, options);
+}
+
+Result<Sample> SolveForBest(const std::string& solver_name, const Qubo& qubo,
+                            const SolverOptions& options) {
+  QDM_ASSIGN_OR_RETURN(SampleSet samples,
+                       SolveWith(solver_name, qubo, options));
+  if (samples.empty()) {
+    return Status::Internal(StrFormat(
+        "solver '%s' returned an empty sample set", solver_name.c_str()));
+  }
+  return samples.best();
+}
+
+std::unique_ptr<Sampler> WrapAsSampler(std::unique_ptr<QuboSolver> solver,
+                                       SolverOptions options) {
+  QDM_CHECK(solver != nullptr);
+  return std::make_unique<SolverSampler>(std::move(solver), options);
+}
+
+}  // namespace anneal
+}  // namespace qdm

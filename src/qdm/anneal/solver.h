@@ -1,0 +1,132 @@
+#ifndef QDM_ANNEAL_SOLVER_H_
+#define QDM_ANNEAL_SOLVER_H_
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "qdm/anneal/qubo.h"
+#include "qdm/anneal/sampler.h"
+#include "qdm/common/rng.h"
+#include "qdm/common/status.h"
+
+namespace qdm {
+namespace anneal {
+
+/// Backend-neutral configuration for one QuboSolver::Solve call. Every knob
+/// has a "use the backend default" zero value; each backend reads only the
+/// knobs it understands and ignores the rest, so one options struct can be
+/// handed unchanged to interchangeable solvers.
+struct SolverOptions {
+  /// Number of solutions drawn (ground-truth solvers may return fewer).
+  int num_reads = 10;
+
+  /// Randomness: when `rng` is non-null it is used directly (and `seed` is
+  /// ignored); otherwise the solver seeds a local Rng from `seed`.
+  Rng* rng = nullptr;
+  uint64_t seed = 0;
+
+  // -- Annealing family (simulated_annealing, parallel_tempering) ------------
+  int num_sweeps = 0;
+  double beta_min = 0.0;
+  double beta_max = 0.0;
+  int num_replicas = 0;
+  int swap_interval = 0;
+
+  // -- Tabu search -----------------------------------------------------------
+  int max_iterations = 0;
+  int tenure = 0;
+
+  // -- Gate-based bridges (qaoa, vqe, grover_min) ----------------------------
+  int layers = 0;
+  int restarts = 0;
+  /// State-vector guard; problems with more variables than this are rejected
+  /// with an InvalidArgument status instead of attempted.
+  int max_qubits = 0;
+};
+
+/// Strategy interface of the hybrid quantum/classical architecture (Figure 2
+/// of the paper; cf. Hai et al. and Zajac & Stoerl): data management
+/// applications reformulate their problem as a Qubo and dispatch it to an
+/// interchangeable backend obtained *by name* from the SolverRegistry — they
+/// never instantiate a concrete solver class. Backends report misuse (e.g. a
+/// problem too large for the method) as an error Status rather than dying.
+class QuboSolver {
+ public:
+  virtual ~QuboSolver() = default;
+
+  virtual Result<SampleSet> Solve(const Qubo& qubo,
+                                  const SolverOptions& options) = 0;
+
+  /// Registry key and report-table label ("simulated_annealing", ...).
+  virtual std::string name() const = 0;
+};
+
+/// Process-global name -> solver factory table. The four anneal-layer
+/// backends (simulated_annealing, parallel_tempering, tabu_search, exact)
+/// register themselves on first access; higher layers add more (the
+/// gate-based bridges in qdm/algo register qaoa, vqe, and grover_min via a
+/// static registrar, which is why the build links qdm as an object library).
+class SolverRegistry {
+ public:
+  using Factory = std::function<std::unique_ptr<QuboSolver>()>;
+
+  static SolverRegistry& Global();
+
+  /// Fails with AlreadyExists when `name` is taken.
+  Status Register(const std::string& name, Factory factory);
+
+  bool Contains(const std::string& name) const;
+
+  /// Registered names, sorted.
+  std::vector<std::string> RegisteredNames() const;
+
+  /// Instantiates the backend registered under `name`; NotFound (listing the
+  /// registered names) for unknown solvers.
+  Result<std::unique_ptr<QuboSolver>> Create(const std::string& name) const;
+
+ private:
+  SolverRegistry();
+
+  mutable std::mutex mutex_;
+  std::map<std::string, Factory> factories_;
+};
+
+/// One-shot convenience: Create(solver_name) then Solve.
+Result<SampleSet> SolveWith(const std::string& solver_name, const Qubo& qubo,
+                            const SolverOptions& options);
+
+/// Like SolveWith, but returns only the lowest-energy sample and converts an
+/// empty sample set into an Internal error — the shared tail of the qopt
+/// SolveX entry points.
+Result<Sample> SolveForBest(const std::string& solver_name, const Qubo& qubo,
+                            const SolverOptions& options);
+
+// -- Helpers for QuboSolver implementations ----------------------------------
+
+/// Resolves the caller's Rng or materializes one in `storage` seeded from
+/// `options.seed`. Shared by every backend so rng/seed semantics cannot
+/// diverge between the annealing and gate-based families.
+Rng* ResolveSolverRng(const SolverOptions& options, std::optional<Rng>* storage);
+
+/// Validates the backend-independent knobs: num_reads must be positive, and
+/// the inverse-temperature ladder must be either fully unset (auto-scaling)
+/// or a non-negative pair with beta_min <= beta_max — half-set or inverted
+/// ladders are rejected.
+Status ValidateSolverOptions(const SolverOptions& options);
+
+/// Adapts a QuboSolver (with fixed options) back to the Sampler interface so
+/// that sampler combinators (e.g. EmbeddedSampler) can compose registry
+/// backends. The wrapper owns the solver; Solve errors abort, so validate
+/// inputs beforehand when using this path.
+std::unique_ptr<Sampler> WrapAsSampler(std::unique_ptr<QuboSolver> solver,
+                                       SolverOptions options);
+
+}  // namespace anneal
+}  // namespace qdm
+
+#endif  // QDM_ANNEAL_SOLVER_H_

@@ -155,5 +155,24 @@ std::vector<int> OptimalOrderUnderProxy(const db::JoinGraph& graph) {
   return best;
 }
 
+Result<JoinOrderSolution> SolveJoinOrder(const db::JoinGraph& graph,
+                                         const std::string& solver_name,
+                                         const anneal::SolverOptions& options,
+                                         double penalty) {
+  JoinOrderQubo encoding(graph, penalty);
+  QDM_ASSIGN_OR_RETURN(
+      anneal::Sample best,
+      anneal::SolveForBest(solver_name, encoding.qubo(), options));
+  JoinOrderSolution solution;
+  // Strict decode doubles as the feasibility check; repair only on failure.
+  solution.order = encoding.Decode(best.assignment);
+  solution.strict_feasible = !solution.order.empty();
+  if (!solution.strict_feasible) {
+    solution.order = encoding.DecodeWithRepair(best.assignment);
+  }
+  solution.best_energy = best.energy;
+  return solution;
+}
+
 }  // namespace qopt
 }  // namespace qdm

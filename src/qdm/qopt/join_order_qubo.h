@@ -1,10 +1,13 @@
 #ifndef QDM_QOPT_JOIN_ORDER_QUBO_H_
 #define QDM_QOPT_JOIN_ORDER_QUBO_H_
 
+#include <string>
 #include <vector>
 
 #include "qdm/anneal/qubo.h"
+#include "qdm/anneal/solver.h"
 #include "qdm/common/rng.h"
+#include "qdm/common/status.h"
 #include "qdm/db/join_graph.h"
 
 namespace qdm {
@@ -50,6 +53,25 @@ class JoinOrderQubo {
   double penalty_;
   anneal::Qubo qubo_;
 };
+
+/// Join ordering solved end-to-end through the QuboSolver registry: encode
+/// `graph`, dispatch to the backend registered under `solver_name`, decode
+/// the best sample. This (not direct solver construction) is the supported
+/// way for applications to run the Figure-2 pipeline.
+struct JoinOrderSolution {
+  /// Always a full permutation (repairing decode of the best sample).
+  std::vector<int> order;
+  /// True when the strict (non-repairing) decode already yielded a valid
+  /// permutation, i.e. the solver satisfied the encoding's constraints.
+  bool strict_feasible = false;
+  /// QUBO energy of the best sample.
+  double best_energy = 0.0;
+};
+
+Result<JoinOrderSolution> SolveJoinOrder(const db::JoinGraph& graph,
+                                         const std::string& solver_name,
+                                         const anneal::SolverOptions& options,
+                                         double penalty = 0.0);
 
 /// The encoding's objective for a concrete order: sum over prefixes of
 /// log-cardinality. Used to separate encoding quality from solver quality.

@@ -224,5 +224,15 @@ MqoSolution LocalSearchMqo(const MqoProblem& problem, int iterations,
   return best;
 }
 
+Result<MqoSolution> SolveMqo(const MqoProblem& problem,
+                             const std::string& solver_name,
+                             const anneal::SolverOptions& options,
+                             double penalty) {
+  anneal::Qubo qubo = MqoToQubo(problem, penalty);
+  QDM_ASSIGN_OR_RETURN(anneal::Sample best,
+                       anneal::SolveForBest(solver_name, qubo, options));
+  return DecodeMqoSample(problem, best.assignment);
+}
+
 }  // namespace qopt
 }  // namespace qdm

@@ -5,7 +5,9 @@
 #include <vector>
 
 #include "qdm/anneal/qubo.h"
+#include "qdm/anneal/solver.h"
 #include "qdm/common/rng.h"
+#include "qdm/common/status.h"
 
 namespace qdm {
 namespace qopt {
@@ -63,6 +65,13 @@ struct MqoSolution {
 /// Strict decode of a QUBO assignment (no repair).
 MqoSolution DecodeMqoSample(const MqoProblem& problem,
                             const anneal::Assignment& assignment);
+
+/// MQO end-to-end through the QuboSolver registry: encode, dispatch to the
+/// backend registered under `solver_name`, strict-decode the best sample.
+Result<MqoSolution> SolveMqo(const MqoProblem& problem,
+                             const std::string& solver_name,
+                             const anneal::SolverOptions& options,
+                             double penalty = 0.0);
 
 /// Classical baselines.
 MqoSolution ExhaustiveMqo(const MqoProblem& problem);        // Exponential.

@@ -202,5 +202,15 @@ Matching GreedyMatching(const SchemaMatchingProblem& problem) {
   return matching;
 }
 
+Result<Matching> SolveSchemaMatching(const SchemaMatchingProblem& problem,
+                                     const std::string& solver_name,
+                                     const anneal::SolverOptions& options,
+                                     double penalty) {
+  anneal::Qubo qubo = SchemaMatchingToQubo(problem, penalty);
+  QDM_ASSIGN_OR_RETURN(anneal::Sample best,
+                       anneal::SolveForBest(solver_name, qubo, options));
+  return DecodeMatching(problem, best.assignment);
+}
+
 }  // namespace qopt
 }  // namespace qdm

@@ -6,7 +6,9 @@
 #include <vector>
 
 #include "qdm/anneal/qubo.h"
+#include "qdm/anneal/solver.h"
 #include "qdm/common/rng.h"
+#include "qdm/common/status.h"
 
 namespace qdm {
 namespace qopt {
@@ -47,6 +49,13 @@ struct Matching {
 /// Strict decode: infeasible when an attribute is matched twice.
 Matching DecodeMatching(const SchemaMatchingProblem& problem,
                         const anneal::Assignment& assignment);
+
+/// Schema matching end-to-end through the QuboSolver registry: encode,
+/// dispatch to `solver_name`, strict-decode the best sample.
+Result<Matching> SolveSchemaMatching(const SchemaMatchingProblem& problem,
+                                     const std::string& solver_name,
+                                     const anneal::SolverOptions& options,
+                                     double penalty = 0.0);
 
 /// Optimal max-weight matching via the Hungarian algorithm (O(n^3)).
 Matching HungarianMatching(const SchemaMatchingProblem& problem);

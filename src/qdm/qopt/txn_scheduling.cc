@@ -265,5 +265,15 @@ BlockingReport SimulateTwoPhaseLocking(const TxnScheduleProblem& problem,
   return report;
 }
 
+Result<Schedule> SolveTxnSchedule(const TxnScheduleProblem& problem,
+                                  const std::string& solver_name,
+                                  const anneal::SolverOptions& options,
+                                  double conflict_penalty, double slot_weight) {
+  anneal::Qubo qubo = TxnScheduleToQubo(problem, conflict_penalty, slot_weight);
+  QDM_ASSIGN_OR_RETURN(anneal::Sample best,
+                       anneal::SolveForBest(solver_name, qubo, options));
+  return DecodeSchedule(problem, best.assignment);
+}
+
 }  // namespace qopt
 }  // namespace qdm

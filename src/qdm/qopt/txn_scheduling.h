@@ -2,10 +2,13 @@
 #define QDM_QOPT_TXN_SCHEDULING_H_
 
 #include <set>
+#include <string>
 #include <vector>
 
 #include "qdm/anneal/qubo.h"
+#include "qdm/anneal/solver.h"
 #include "qdm/common/rng.h"
+#include "qdm/common/status.h"
 
 namespace qdm {
 namespace qopt {
@@ -51,6 +54,14 @@ struct Schedule {
 
 Schedule DecodeSchedule(const TxnScheduleProblem& problem,
                         const anneal::Assignment& assignment);
+
+/// Transaction scheduling end-to-end through the QuboSolver registry:
+/// encode, dispatch to `solver_name`, strict-decode the best sample.
+Result<Schedule> SolveTxnSchedule(const TxnScheduleProblem& problem,
+                                  const std::string& solver_name,
+                                  const anneal::SolverOptions& options,
+                                  double conflict_penalty = 0.0,
+                                  double slot_weight = 1.0);
 
 /// Classical baseline: greedy graph coloring (largest-degree-first) of the
 /// conflict graph; colors become slots.

@@ -108,6 +108,18 @@ void Statevector::ApplyDiagonalPhase(
   }
 }
 
+void Statevector::ApplyDiagonalPhase(const std::vector<double>& phases,
+                                     double scale) {
+  QDM_CHECK_EQ(phases.size(), amplitudes_.size())
+      << "diagonal length must match the state dimension";
+  const double* phase = phases.data();
+  Complex* amp = amplitudes_.data();
+  const size_t dim = amplitudes_.size();
+  for (size_t z = 0; z < dim; ++z) {
+    amp[z] *= std::polar(1.0, scale * phase[z]);
+  }
+}
+
 void Statevector::ApplyGate(const circuit::Gate& gate) {
   using circuit::GateKind;
   QDM_CHECK_EQ(gate.param_ref, -1)

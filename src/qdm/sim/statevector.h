@@ -61,6 +61,13 @@ class Statevector {
   /// fast path for diagonal operators (QAOA cost layers, Grover oracles).
   void ApplyDiagonalPhase(const std::function<double(uint64_t)>& phase);
 
+  /// Same operation from a precomputed diagonal (length == dimension()):
+  /// multiplies amplitude of basis state z by exp(i * scale * phases[z]).
+  /// Hot path for loops that reapply one diagonal with varying prefactors
+  /// (QAOA layers, Grover oracle sweeps) — no per-element std::function
+  /// indirection.
+  void ApplyDiagonalPhase(const std::vector<double>& phases, double scale = 1.0);
+
   /// Applies one circuit gate / a whole circuit (circuit must be fully bound).
   void ApplyGate(const circuit::Gate& gate);
   void ApplyCircuit(const circuit::Circuit& c);

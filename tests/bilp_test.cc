@@ -1,7 +1,7 @@
 #include <gtest/gtest.h>
 
 #include "qdm/anneal/exact_solver.h"
-#include "qdm/anneal/tabu_search.h"
+#include "qdm/anneal/solver.h"
 #include "qdm/common/rng.h"
 #include "qdm/qopt/bilp.h"
 
@@ -165,10 +165,13 @@ TEST(BilpApplicationsTest, FullPipelineBilpToQuboToAnnealer) {
   auto qubo = BilpToQubo(bilp);
   ASSERT_TRUE(qubo.ok());
 
-  anneal::TabuSearch tabu;
-  anneal::SampleSet set = tabu.SampleQubo(*qubo, 20, &rng);
-  anneal::Assignment decision(set.best().assignment.begin(),
-                              set.best().assignment.begin() + bilp.num_variables);
+  anneal::SolverOptions options;
+  options.num_reads = 20;
+  options.rng = &rng;
+  Result<anneal::SampleSet> set = anneal::SolveWith("tabu_search", *qubo, options);
+  ASSERT_TRUE(set.ok()) << set.status();
+  anneal::Assignment decision(set->best().assignment.begin(),
+                              set->best().assignment.begin() + bilp.num_variables);
   BilpSolution reference = SolveBilpBranchAndBound(bilp);
   ASSERT_TRUE(bilp.IsFeasible(decision));
   EXPECT_NEAR(bilp.Objective(decision), reference.objective, 1e-9);

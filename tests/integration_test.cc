@@ -2,12 +2,9 @@
 
 #include <gtest/gtest.h>
 
-#include "qdm/algo/qaoa.h"
 #include "qdm/anneal/chimera.h"
 #include "qdm/anneal/embedding.h"
-#include "qdm/anneal/exact_solver.h"
-#include "qdm/anneal/simulated_annealing.h"
-#include "qdm/anneal/tabu_search.h"
+#include "qdm/anneal/solver.h"
 #include "qdm/common/rng.h"
 #include "qdm/db/executor.h"
 #include "qdm/db/join_optimizer.h"
@@ -32,9 +29,14 @@ TEST(IntegrationTest, WorkloadToChimeraToExecutedPlan) {
   qopt::JoinOrderQubo encoding(workload.graph);
   ASSERT_EQ(encoding.num_variables(), 16);
 
-  // 16 logical variables embed into Chimera C(4,4,4).
-  anneal::SimulatedAnnealer base(anneal::AnnealSchedule{.num_sweeps = 1500});
-  anneal::EmbeddedSampler sampler(&base, anneal::ChimeraGraph(4, 4, 4),
+  // 16 logical variables embed into Chimera C(4,4,4). The base annealer is
+  // fetched from the solver registry and adapted to the Sampler interface
+  // for the embedding combinator.
+  auto base_solver = anneal::SolverRegistry::Global().Create("simulated_annealing");
+  ASSERT_TRUE(base_solver.ok()) << base_solver.status();
+  std::unique_ptr<anneal::Sampler> base =
+      anneal::WrapAsSampler(std::move(*base_solver), {.num_sweeps = 1500});
+  anneal::EmbeddedSampler sampler(base.get(), anneal::ChimeraGraph(4, 4, 4),
                                   /*chain_strength=*/60.0);
   anneal::SampleSet samples = sampler.SampleQubo(encoding.qubo(), 30, &rng);
   std::vector<int> order = encoding.DecodeWithRepair(samples.best().assignment);
@@ -60,22 +62,24 @@ TEST(IntegrationTest, MqoBackendsAgreeOnOptimum) {
   anneal::Qubo qubo = qopt::MqoToQubo(problem);
   const double optimum = qopt::ExhaustiveMqo(problem).cost;
 
-  anneal::SimulatedAnnealer sa(anneal::AnnealSchedule{.num_sweeps = 1000});
-  anneal::TabuSearch tabu;
-  anneal::ExactSolver exact;
-  algo::QaoaSampler qaoa(algo::QaoaSampler::Options{.layers = 3, .restarts = 4});
+  anneal::SolverOptions options;
+  options.num_reads = 100;
+  options.num_sweeps = 1000;
+  options.layers = 3;
+  options.restarts = 4;
+  options.rng = &rng;
 
-  for (anneal::Sampler* backend :
-       std::vector<anneal::Sampler*>{&sa, &tabu, &exact, &qaoa}) {
-    anneal::SampleSet set = backend->SampleQubo(qubo, 100, &rng);
+  for (const std::string backend :
+       {"simulated_annealing", "tabu_search", "exact", "qaoa"}) {
+    Result<anneal::SampleSet> set = anneal::SolveWith(backend, qubo, options);
+    ASSERT_TRUE(set.ok()) << backend << ": " << set.status();
     qopt::MqoSolution decoded =
-        qopt::DecodeMqoSample(problem, set.best().assignment);
-    ASSERT_TRUE(decoded.feasible) << backend->name();
+        qopt::DecodeMqoSample(problem, set->best().assignment);
+    ASSERT_TRUE(decoded.feasible) << backend;
     // The variational backend is an approximate optimizer: allow a small
     // relative gap for it; exact/heuristic backends must hit the optimum.
-    const double tolerance =
-        backend == static_cast<anneal::Sampler*>(&qaoa) ? 0.03 * optimum : 1e-9;
-    EXPECT_NEAR(decoded.cost, optimum, tolerance) << backend->name();
+    const double tolerance = backend == "qaoa" ? 0.03 * optimum : 1e-9;
+    EXPECT_NEAR(decoded.cost, optimum, tolerance) << backend;
   }
 }
 

@@ -3,7 +3,7 @@
 #include <algorithm>
 
 #include "qdm/anneal/exact_solver.h"
-#include "qdm/anneal/simulated_annealing.h"
+#include "qdm/anneal/solver.h"
 #include "qdm/common/rng.h"
 #include "qdm/db/join_optimizer.h"
 #include "qdm/qopt/join_order_qubo.h"
@@ -112,15 +112,18 @@ TEST(JoinOrderQuboTest, ProxyOptimumTracksCoutOptimum) {
 
 TEST(JoinOrderEndToEndTest, AnnealerFindsProxyOptimalOrder) {
   Rng rng(17);
-  anneal::SimulatedAnnealer annealer(anneal::AnnealSchedule{.num_sweeps = 500});
+  anneal::SolverOptions options;
+  options.num_reads = 30;
+  options.num_sweeps = 500;
+  options.rng = &rng;
   int solved = 0;
   for (int trial = 0; trial < 5; ++trial) {
     db::JoinGraph g = db::JoinGraph::RandomChain(4, &rng);
-    JoinOrderQubo encoding(g);
-    anneal::SampleSet set = annealer.SampleQubo(encoding.qubo(), 30, &rng);
-    std::vector<int> order = encoding.Decode(set.best().assignment);
-    if (order.empty()) continue;
-    if (LogCostProxy(order, g) <=
+    Result<JoinOrderSolution> solution =
+        SolveJoinOrder(g, "simulated_annealing", options);
+    ASSERT_TRUE(solution.ok()) << solution.status();
+    if (!solution->strict_feasible) continue;
+    if (LogCostProxy(solution->order, g) <=
         LogCostProxy(OptimalOrderUnderProxy(g), g) + 1e-9) {
       ++solved;
     }

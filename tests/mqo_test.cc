@@ -1,8 +1,7 @@
 #include <gtest/gtest.h>
 
-#include "qdm/algo/qaoa.h"
 #include "qdm/anneal/exact_solver.h"
-#include "qdm/anneal/simulated_annealing.h"
+#include "qdm/anneal/solver.h"
 #include "qdm/common/rng.h"
 #include "qdm/qopt/mqo.h"
 
@@ -115,15 +114,17 @@ TEST(MqoEndToEndTest, AnnealerSolvesGeneratedInstances) {
   // (switching plans is a 2-flip move), so the anneal needs honest effort:
   // 1000 sweeps x 50 reads solves these instances reliably.
   Rng rng(11);
-  anneal::SimulatedAnnealer annealer(anneal::AnnealSchedule{.num_sweeps = 1000});
+  anneal::SolverOptions options;
+  options.num_reads = 50;
+  options.num_sweeps = 1000;
+  options.rng = &rng;
   int solved = 0;
   for (int trial = 0; trial < 5; ++trial) {
     MqoProblem p = GenerateMqoProblem(5, 3, 0.3, &rng);
-    anneal::Qubo qubo = MqoToQubo(p);
-    anneal::SampleSet set = annealer.SampleQubo(qubo, 50, &rng);
-    MqoSolution decoded = DecodeMqoSample(p, set.best().assignment);
-    if (decoded.feasible &&
-        decoded.cost <= ExhaustiveMqo(p).cost + 1e-9) {
+    Result<MqoSolution> decoded = SolveMqo(p, "simulated_annealing", options);
+    ASSERT_TRUE(decoded.ok()) << decoded.status();
+    if (decoded->feasible &&
+        decoded->cost <= ExhaustiveMqo(p).cost + 1e-9) {
       ++solved;
     }
   }
@@ -134,12 +135,15 @@ TEST(MqoEndToEndTest, QaoaSolvesTinyInstance) {
   // The gate-based arm of Figure 2 on the running MQO example.
   Rng rng(13);
   MqoProblem p = TinyProblem();
-  anneal::Qubo qubo = MqoToQubo(p);
-  algo::QaoaSampler sampler(algo::QaoaSampler::Options{.layers = 3, .restarts = 4});
-  anneal::SampleSet set = sampler.SampleQubo(qubo, 60, &rng);
-  MqoSolution decoded = DecodeMqoSample(p, set.best().assignment);
-  ASSERT_TRUE(decoded.feasible);
-  EXPECT_DOUBLE_EQ(decoded.cost, 17);
+  anneal::SolverOptions options;
+  options.num_reads = 60;
+  options.layers = 3;
+  options.restarts = 4;
+  options.rng = &rng;
+  Result<MqoSolution> decoded = SolveMqo(p, "qaoa", options);
+  ASSERT_TRUE(decoded.ok()) << decoded.status();
+  ASSERT_TRUE(decoded->feasible);
+  EXPECT_DOUBLE_EQ(decoded->cost, 17);
 }
 
 TEST(MqoGeneratorTest, SavingsNeverExceedPlanCosts) {

@@ -1,7 +1,7 @@
 #include <gtest/gtest.h>
 
 #include "qdm/anneal/exact_solver.h"
-#include "qdm/anneal/simulated_annealing.h"
+#include "qdm/anneal/solver.h"
 #include "qdm/common/rng.h"
 #include "qdm/qopt/schema_matching.h"
 
@@ -106,16 +106,18 @@ TEST(SchemaMatchingQuboTest, DoubleMatchingIsPenalized) {
 
 TEST(SchemaMatchingEndToEndTest, AnnealerRecoversPlantedMatching) {
   Rng rng(11);
-  anneal::SimulatedAnnealer annealer(anneal::AnnealSchedule{.num_sweeps = 300});
+  anneal::SolverOptions options;
+  options.num_reads = 20;
+  options.num_sweeps = 300;
+  options.rng = &rng;
   int optimal_count = 0;
   for (int trial = 0; trial < 5; ++trial) {
     SchemaMatchingProblem p = GenerateSchemaMatching(5, 5, 0.05, &rng);
-    anneal::Qubo qubo = SchemaMatchingToQubo(p);
-    anneal::SampleSet set = annealer.SampleQubo(qubo, 20, &rng);
-    Matching decoded = DecodeMatching(p, set.best().assignment);
+    Result<Matching> decoded = SolveSchemaMatching(p, "simulated_annealing", options);
+    ASSERT_TRUE(decoded.ok()) << decoded.status();
     Matching optimal = HungarianMatching(p);
-    if (decoded.feasible &&
-        decoded.total_similarity >= optimal.total_similarity - 1e-9) {
+    if (decoded->feasible &&
+        decoded->total_similarity >= optimal.total_similarity - 1e-9) {
       ++optimal_count;
     }
   }

@@ -1,8 +1,7 @@
 #include <gtest/gtest.h>
 
-#include "qdm/algo/grover_min_sampler.h"
 #include "qdm/anneal/exact_solver.h"
-#include "qdm/anneal/simulated_annealing.h"
+#include "qdm/anneal/solver.h"
 #include "qdm/common/rng.h"
 #include "qdm/qopt/txn_scheduling.h"
 
@@ -104,15 +103,17 @@ TEST(TwoPhaseLockingTest, QuboScheduleEliminatesBlocking) {
   // The headline claim of [29, 30]: annealing-derived schedules avoid
   // blocking entirely.
   Rng rng(7);
-  anneal::SimulatedAnnealer annealer(anneal::AnnealSchedule{.num_sweeps = 400});
+  anneal::SolverOptions options;
+  options.num_reads = 20;
+  options.num_sweeps = 400;
+  options.rng = &rng;
   for (int trial = 0; trial < 4; ++trial) {
     TxnScheduleProblem p = GenerateTxnSchedule(6, 8, 2, 0, &rng);
-    anneal::Qubo qubo = TxnScheduleToQubo(p);
-    anneal::SampleSet set = annealer.SampleQubo(qubo, 20, &rng);
-    Schedule schedule = DecodeSchedule(p, set.best().assignment);
-    ASSERT_TRUE(schedule.feasible);
-    EXPECT_EQ(schedule.conflicting_pairs_same_slot, 0);
-    BlockingReport report = SimulateTwoPhaseLocking(p, schedule);
+    Result<Schedule> schedule = SolveTxnSchedule(p, "simulated_annealing", options);
+    ASSERT_TRUE(schedule.ok()) << schedule.status();
+    ASSERT_TRUE(schedule->feasible);
+    EXPECT_EQ(schedule->conflicting_pairs_same_slot, 0);
+    BlockingReport report = SimulateTwoPhaseLocking(p, *schedule);
     EXPECT_EQ(report.total_wait_steps, 0);
   }
 }
@@ -124,13 +125,14 @@ TEST(TxnGroverTest, GroverScheduleSearchMatchesExhaustive) {
   TxnScheduleProblem p;
   p.lock_sets = {{0}, {0}, {1}, {1}};
   p.num_slots = 2;
-  anneal::Qubo qubo = TxnScheduleToQubo(p);
-  algo::GroverMinSampler sampler;
-  anneal::SampleSet set = sampler.SampleQubo(qubo, 3, &rng);
-  Schedule schedule = DecodeSchedule(p, set.best().assignment);
-  ASSERT_TRUE(schedule.feasible);
-  EXPECT_EQ(schedule.conflicting_pairs_same_slot, 0);
-  EXPECT_EQ(schedule.makespan, 2);
+  anneal::SolverOptions options;
+  options.num_reads = 3;
+  options.rng = &rng;
+  Result<Schedule> schedule = SolveTxnSchedule(p, "grover_min", options);
+  ASSERT_TRUE(schedule.ok()) << schedule.status();
+  ASSERT_TRUE(schedule->feasible);
+  EXPECT_EQ(schedule->conflicting_pairs_same_slot, 0);
+  EXPECT_EQ(schedule->makespan, 2);
 }
 
 TEST(TxnGeneratorTest, AutoSlotsAdmitConflictFreeSchedule) {
