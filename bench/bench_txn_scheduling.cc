@@ -5,14 +5,66 @@
 // Grover minimum search (small instances), plus achieved makespans.
 
 #include <cstdio>
+#include <vector>
 
 #include "qdm/anneal/solver.h"
 #include "qdm/common/rng.h"
 #include "qdm/common/strings.h"
 #include "qdm/common/table_printer.h"
 #include "qdm/qopt/txn_scheduling.h"
+#include "sweep_util.h"
 
-int main() {
+namespace {
+
+// Epoch fan-out sweep: a stream of per-epoch transaction batches (one QUBO
+// per epoch, as in Bittner & Groppe's continuous scheduler) dispatched
+// through qopt::SolveTxnScheduleEpochs at increasing pool widths. items/s
+// (epochs per second) is the CI perf-gate metric; results are checked
+// bit-identical across thread counts (seed + index derivation).
+void RunEpochSweep(const qdm_bench::SweepFlags& flags) {
+  const int kEpochs = 32;
+  qdm::Rng gen_rng(7);
+  std::vector<qdm::qopt::TxnScheduleProblem> epochs;
+  epochs.reserve(kEpochs);
+  for (int e = 0; e < kEpochs; ++e) {
+    epochs.push_back(
+        qdm::qopt::GenerateTxnSchedule(8, 8, 2, /*num_slots=*/0, &gen_rng));
+  }
+  qdm::anneal::SolverOptions options;
+  options.num_reads = 10;
+  options.num_sweeps = 600;
+  options.seed = 7;
+
+  using Batch = std::vector<qdm::qopt::Schedule>;
+  qdm_bench::RunThreadSweep<Batch>(
+      "Epoch sweep: 32 scheduling epochs (8 txns each) through\n"
+      "SolveTxnScheduleEpochs on simulated_annealing, seed-derived per\n"
+      "epoch (bit-identical at every thread count).",
+      kEpochs, "epochs/s",
+      [&epochs, &options](int threads) {
+        auto schedules = qdm::qopt::SolveTxnScheduleEpochs(
+            epochs, "simulated_annealing", options, 0.0, 1.0, threads);
+        QDM_CHECK(schedules.ok()) << schedules.status();
+        return *schedules;
+      },
+      [](const Batch& a, const Batch& b) {
+        if (a.size() != b.size()) return false;
+        for (size_t i = 0; i < a.size(); ++i) {
+          if (a[i].slot_of_txn != b[i].slot_of_txn) return false;
+        }
+        return true;
+      },
+      "txn_epochs_items_per_s", flags);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const qdm_bench::SweepFlags flags = qdm_bench::ParseSweepFlags(argc, argv);
+  if (flags.sweep_only) {
+    RunEpochSweep(flags);
+    return 0;
+  }
   qdm::Rng rng(2024);
   qdm::TablePrinter table({"txns", "conflicts", "naive wait", "greedy wait",
                            "anneal wait", "grover wait", "greedy span",
@@ -86,6 +138,7 @@ int main() {
   std::printf("Shape check: naive blocking grows with conflicts; every\n"
               "optimized schedule eliminates blocking entirely (0 waits),\n"
               "the headline claim of [29, 30]; annealed makespans stay close\n"
-              "to greedy coloring.\n");
+              "to greedy coloring.\n\n");
+  RunEpochSweep(flags);
   return 0;
 }

@@ -1,0 +1,103 @@
+// Shared scaffolding for the batch fan-out sweeps (bench_mqo_speedup,
+// bench_txn_scheduling): flag parsing, the thread-count timing loop with its
+// identical-results assertion, the report table, and the perf-gate JSON.
+// Keeping this in one place means the sweep protocol and the JSON metric
+// schema the CI gate consumes cannot drift between benches.
+
+#ifndef QDM_BENCH_SWEEP_UTIL_H_
+#define QDM_BENCH_SWEEP_UTIL_H_
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "qdm/common/check.h"
+#include "qdm/common/strings.h"
+#include "qdm/common/table_printer.h"
+
+namespace qdm_bench {
+
+struct SweepFlags {
+  bool sweep_only = false;          // --sweep-only: skip the paper tables.
+  const char* json_path = nullptr;  // --json PATH: write perf-gate metrics.
+};
+
+inline SweepFlags ParseSweepFlags(int argc, char** argv) {
+  SweepFlags flags;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--sweep-only") == 0) {
+      flags.sweep_only = true;
+    } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      flags.json_path = argv[++i];
+    }
+  }
+  return flags;
+}
+
+/// Runs `solve(threads)` for threads in {1, 2, 4, 8}, timing each pass and
+/// QDM_CHECKing results equal (`equal`) to the 1-thread reference — the
+/// batch determinism guarantee, asserted at bench runtime. Prints a
+/// `header` + table (items/s, speedup vs 1 thread) and, when
+/// `flags.json_path` is set, writes {"metrics": {"<metric_prefix>_t<T>":
+/// items_per_second}} for scripts/perf_gate.py.
+template <typename Batch>
+inline void RunThreadSweep(
+    const char* header, int num_items, const char* items_column,
+    const std::function<Batch(int threads)>& solve,
+    const std::function<bool(const Batch&, const Batch&)>& equal,
+    const char* metric_prefix, const SweepFlags& flags) {
+  qdm::TablePrinter table({"threads", "batch", "total ms", items_column,
+                           "speedup", "identical"});
+  Batch reference;
+  double base_items_per_s = 0.0;
+  int diverged_at = 0;  // 0 = all thread counts matched the reference.
+  std::string json = "{\n  \"metrics\": {\n";
+  const std::vector<int> thread_counts = {1, 2, 4, 8};
+  for (size_t t = 0; t < thread_counts.size(); ++t) {
+    const int threads = thread_counts[t];
+    const auto start = std::chrono::steady_clock::now();
+    Batch batch = solve(threads);
+    const double ms = std::chrono::duration<double, std::milli>(
+                          std::chrono::steady_clock::now() - start)
+                          .count();
+    const double items_per_s = 1000.0 * num_items / ms;
+    bool identical = true;
+    if (threads == 1) {
+      reference = batch;
+      base_items_per_s = items_per_s;
+    } else {
+      identical = equal(batch, reference);
+      if (!identical && diverged_at == 0) diverged_at = threads;
+    }
+    table.AddRow({qdm::StrFormat("%d", threads),
+                  qdm::StrFormat("%d", num_items),
+                  qdm::StrFormat("%.1f", ms),
+                  qdm::StrFormat("%.1f", items_per_s),
+                  qdm::StrFormat("%.2fx", items_per_s / base_items_per_s),
+                  identical ? "yes" : "NO"});
+    json += qdm::StrFormat("    \"%s_t%d\": %.3f%s\n", metric_prefix, threads,
+                           items_per_s,
+                           t + 1 < thread_counts.size() ? "," : "");
+  }
+  json += "  }\n}\n";
+  // Print the full table before enforcing determinism, so a violation still
+  // leaves the per-thread evidence on screen; abort before writing JSON so
+  // the perf gate never ingests numbers from a broken run.
+  std::printf("%s\n%s\n", header, table.ToString().c_str());
+  QDM_CHECK(diverged_at == 0) << metric_prefix << " results diverged at "
+                              << diverged_at << " threads";
+  if (flags.json_path != nullptr) {
+    std::FILE* f = std::fopen(flags.json_path, "w");
+    QDM_CHECK(f != nullptr) << "cannot write " << flags.json_path;
+    std::fputs(json.c_str(), f);
+    std::fclose(f);
+    std::printf("wrote %s\n", flags.json_path);
+  }
+}
+
+}  // namespace qdm_bench
+
+#endif  // QDM_BENCH_SWEEP_UTIL_H_

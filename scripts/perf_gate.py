@@ -1,0 +1,117 @@
+#!/usr/bin/env python3
+"""CI performance gate for qdm benchmarks.
+
+Compares current items/s numbers against a checked-in baseline and fails
+(exit 1) when any metric regressed by more than --max-regression (default
+2x). Two input formats are understood and may be mixed freely:
+
+  * google-benchmark JSON (bench_micro --benchmark_format=json): entries of
+    "benchmarks" that report "items_per_second" are gated under their "name".
+  * qdm sweep JSON ({"metrics": {name: items_per_second}}), written by
+    bench_mqo_speedup / bench_txn_scheduling with --sweep-only --json PATH.
+
+Override knob: set the environment variable QDM_PERF_GATE=off to turn the
+gate into a no-op (exit 0 with a notice) — for machines whose absolute
+throughput is not comparable to the recorded baseline. To refresh the
+baseline after an intentional change, re-run with --update.
+
+Usage:
+  python3 scripts/perf_gate.py --baseline bench/baselines/perf_baseline.json \
+      --current bench_micro.json mqo_batch.json txn_batch.json [--update]
+"""
+
+import argparse
+import json
+import os
+import sys
+
+
+def load_metrics(path):
+    """Returns {metric_name: items_per_second} from either input format."""
+    with open(path) as f:
+        data = json.load(f)
+    metrics = {}
+    if "benchmarks" in data:  # google-benchmark format.
+        for entry in data["benchmarks"]:
+            if "items_per_second" in entry:
+                metrics[entry["name"]] = float(entry["items_per_second"])
+    if "metrics" in data:  # qdm sweep format.
+        for name, value in data["metrics"].items():
+            metrics[name] = float(value)
+    if not metrics:
+        sys.exit(f"perf_gate: no items/s metrics found in {path}")
+    return metrics
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--baseline", required=True,
+                        help="checked-in baseline JSON ({'metrics': {...}})")
+    parser.add_argument("--current", nargs="+", required=True,
+                        help="one or more result JSON files to gate")
+    parser.add_argument("--max-regression", type=float, default=2.0,
+                        help="fail when current < baseline / this (default 2)")
+    parser.add_argument("--update", action="store_true",
+                        help="rewrite the baseline from the current results")
+    args = parser.parse_args()
+
+    # --update must work even where the gate itself is switched off (the
+    # knob disables the comparison, not baseline maintenance).
+    if args.update:
+        current = {}
+        for path in args.current:
+            current.update(load_metrics(path))
+        with open(args.baseline, "w") as f:
+            json.dump({"schema": 1, "metrics": current}, f, indent=2,
+                      sort_keys=True)
+            f.write("\n")
+        print(f"perf_gate: baseline updated with {len(current)} metrics "
+              f"-> {args.baseline}")
+        return 0
+
+    if os.environ.get("QDM_PERF_GATE", "on").lower() in ("off", "0", "false"):
+        print("perf_gate: QDM_PERF_GATE=off, skipping (override knob)")
+        return 0
+
+    current = {}
+    for path in args.current:
+        current.update(load_metrics(path))
+
+    with open(args.baseline) as f:
+        baseline = json.load(f)["metrics"]
+
+    failures = []
+    for name in sorted(baseline):
+        base = float(baseline[name])
+        if name not in current:
+            failures.append(f"{name}: missing from current results")
+            continue
+        now = current[name]
+        ratio = now / base if base > 0 else float("inf")
+        status = "OK" if ratio >= 1.0 / args.max_regression else "REGRESSED"
+        print(f"perf_gate: {name}: baseline {base:.1f} -> current {now:.1f} "
+              f"items/s ({ratio:.2f}x) {status}")
+        if status == "REGRESSED":
+            failures.append(
+                f"{name}: {now:.1f} vs baseline {base:.1f} items/s "
+                f"({ratio:.2f}x < 1/{args.max_regression:g})")
+
+    extra = sorted(set(current) - set(baseline))
+    if extra:
+        print(f"perf_gate: {len(extra)} metrics not in baseline (ignored): "
+              + ", ".join(extra))
+
+    if failures:
+        print("perf_gate: FAILED — >%gx regression (set QDM_PERF_GATE=off to "
+              "bypass, or rerun with --update after an intentional change):"
+              % args.max_regression)
+        for failure in failures:
+            print(f"  {failure}")
+        return 1
+    print(f"perf_gate: all {len(baseline)} metrics within "
+          f"{args.max_regression:g}x of baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

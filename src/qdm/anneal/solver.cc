@@ -8,9 +8,115 @@
 #include "qdm/anneal/simulated_annealing.h"
 #include "qdm/anneal/tabu_search.h"
 #include "qdm/common/strings.h"
+#include "qdm/common/thread_pool.h"
 
 namespace qdm {
 namespace anneal {
+
+namespace {
+
+/// Prefixes a per-instance failure with its batch position, preserving the
+/// original code so callers can still dispatch on it. Batches of one keep
+/// the bare error: the single-shot entry points are batch-of-one wrappers
+/// and their callers never asked for batch framing.
+Status AnnotateBatchError(const Status& status, size_t index,
+                          size_t batch_size) {
+  if (batch_size <= 1) return status;
+  return Status(status.code(), StrFormat("batch instance %zu: %s", index,
+                                         status.message().c_str()));
+}
+
+}  // namespace
+
+Result<std::vector<Sample>> BestOfEach(const std::vector<SampleSet>& sets,
+                                       const std::string& solver_name) {
+  std::vector<Sample> best;
+  best.reserve(sets.size());
+  for (size_t i = 0; i < sets.size(); ++i) {
+    if (sets[i].empty()) {
+      return AnnotateBatchError(
+          Status::Internal(StrFormat("solver '%s' returned an empty sample "
+                                     "set",
+                                     solver_name.c_str())),
+          i, sets.size());
+    }
+    best.push_back(sets[i].best());
+  }
+  return best;
+}
+
+SolverOptions DeriveBatchOptions(const SolverOptions& options, size_t index) {
+  SolverOptions derived = options;
+  derived.rng = nullptr;
+  derived.seed = options.seed + static_cast<uint64_t>(index);
+  return derived;
+}
+
+Result<std::vector<SampleSet>> QuboSolver::SolveBatch(
+    const std::vector<Qubo>& qubos, const SolverOptions& options) {
+  std::vector<SampleSet> results;
+  results.reserve(qubos.size());
+  for (size_t i = 0; i < qubos.size(); ++i) {
+    Result<SampleSet> result = options.rng != nullptr
+                                   ? Solve(qubos[i], options)
+                                   : Solve(qubos[i], DeriveBatchOptions(options, i));
+    if (!result.ok()) {
+      return AnnotateBatchError(result.status(), i, qubos.size());
+    }
+    results.push_back(std::move(result).value());
+  }
+  return results;
+}
+
+Result<std::vector<SampleSet>> SolveBatchParallel(
+    const std::string& solver_name, const std::vector<Qubo>& qubos,
+    const SolverOptions& options, int num_threads) {
+  if (num_threads != 1 && options.rng != nullptr) {
+    return Status::InvalidArgument(
+        "SolveBatchParallel with num_threads != 1 requires seed-based "
+        "randomness (options.rng must be null): a shared Rng cannot be "
+        "fanned out deterministically");
+  }
+  QDM_RETURN_IF_ERROR(ValidateSolverOptions(options));
+  if (num_threads <= 0) num_threads = ThreadPool::DefaultNumThreads();
+  const size_t n = qubos.size();
+  if (num_threads == 1 || n <= 1) {
+    QDM_ASSIGN_OR_RETURN(std::unique_ptr<QuboSolver> solver,
+                         SolverRegistry::Global().Create(solver_name));
+    return solver->SolveBatch(qubos, options);
+  }
+  // Surface an unknown solver name before any threads spin up.
+  QDM_ASSIGN_OR_RETURN(std::unique_ptr<QuboSolver> probe,
+                       SolverRegistry::Global().Create(solver_name));
+  probe.reset();
+  // Each instance gets its own backend object: QuboSolver implementations
+  // are not required to be thread-safe, and construction is trivial for
+  // every registered backend. ParallelFor's dynamic index scheduling keeps
+  // uneven per-instance costs balanced across workers.
+  std::vector<SampleSet> results(n);
+  std::vector<Status> statuses(n);
+  ThreadPool::ParallelFor(
+      num_threads, static_cast<int>(n),
+      [&solver_name, &qubos, &options, &results, &statuses](int i) {
+        Result<std::unique_ptr<QuboSolver>> solver =
+            SolverRegistry::Global().Create(solver_name);
+        if (!solver.ok()) {
+          statuses[i] = solver.status();
+          return;
+        }
+        Result<SampleSet> result =
+            (*solver)->Solve(qubos[i], DeriveBatchOptions(options, i));
+        if (result.ok()) {
+          results[i] = std::move(result).value();
+        } else {
+          statuses[i] = result.status();
+        }
+      });
+  for (size_t i = 0; i < n; ++i) {
+    if (!statuses[i].ok()) return AnnotateBatchError(statuses[i], i, n);
+  }
+  return results;
+}
 
 Rng* ResolveSolverRng(const SolverOptions& options,
                       std::optional<Rng>* storage) {

@@ -1,6 +1,7 @@
 #ifndef QDM_ANNEAL_SOLVER_H_
 #define QDM_ANNEAL_SOLVER_H_
 
+#include <cstdint>
 #include <functional>
 #include <map>
 #include <memory>
@@ -17,16 +18,41 @@
 namespace qdm {
 namespace anneal {
 
-/// Backend-neutral configuration for one QuboSolver::Solve call. Every knob
-/// has a "use the backend default" zero value; each backend reads only the
-/// knobs it understands and ignores the rest, so one options struct can be
-/// handed unchanged to interchangeable solvers.
+/// Backend-neutral configuration for QuboSolver::Solve / SolveBatch calls.
+///
+/// Zero-means-default convention: every tuning knob treats its zero value
+/// ("0", "0.0") as "use the backend's built-in default" — callers set only
+/// the knobs they care about and hand the same struct to interchangeable
+/// backends. Each backend reads only the knobs it understands and silently
+/// ignores the rest. The per-knob rules:
+///
+///   num_reads        > 0 required (no zero-default; 0 is InvalidArgument).
+///   rng / seed       see below — not zero-defaulted knobs.
+///   num_sweeps       0 = backend default sweep count (annealing family).
+///   beta_min/beta_max both 0 = auto-scale the inverse-temperature ladder
+///                    from the problem; setting only one of the pair, or a
+///                    negative value, or beta_min > beta_max is
+///                    InvalidArgument (never an abort).
+///   num_replicas     0 = parallel_tempering's default replica count.
+///   swap_interval    0 = parallel_tempering's default swap cadence.
+///   max_iterations   0 = tabu_search's default iteration budget.
+///   tenure           0 = tabu_search's default tabu tenure.
+///   layers           0 = default circuit depth (qaoa/vqe).
+///   restarts         0 = default optimizer restarts (qaoa/vqe).
+///   max_qubits       0 = backend default state-vector guard; a positive
+///                    value moves the guard but is always clamped to the
+///                    26-qubit diagonal cap. Oversized problems are rejected
+///                    with InvalidArgument.
+///
+/// Randomness: when `rng` is non-null it is used directly (and `seed` is
+/// ignored); otherwise the solver seeds a local Rng from `seed` (seed 0
+/// meaning the library's fixed default seed). Batch entry points derive a
+/// distinct per-instance seed (see DeriveBatchOptions) and only honor `rng`
+/// on the strictly sequential path.
 struct SolverOptions {
   /// Number of solutions drawn (ground-truth solvers may return fewer).
   int num_reads = 10;
 
-  /// Randomness: when `rng` is non-null it is used directly (and `seed` is
-  /// ignored); otherwise the solver seeds a local Rng from `seed`.
   Rng* rng = nullptr;
   uint64_t seed = 0;
 
@@ -44,8 +70,6 @@ struct SolverOptions {
   // -- Gate-based bridges (qaoa, vqe, grover_min) ----------------------------
   int layers = 0;
   int restarts = 0;
-  /// State-vector guard; problems with more variables than this are rejected
-  /// with an InvalidArgument status instead of attempted.
   int max_qubits = 0;
 };
 
@@ -61,6 +85,26 @@ class QuboSolver {
 
   virtual Result<SampleSet> Solve(const Qubo& qubo,
                                   const SolverOptions& options) = 0;
+
+  /// Solves a batch of independent instances. Contract (which overrides must
+  /// preserve so the parallel fan-out stays interchangeable with this
+  /// sequential reference):
+  ///
+  ///  - Ordering: result[i] is the SampleSet for qubos[i]; the output vector
+  ///    has exactly qubos.size() entries on success.
+  ///  - Randomness: with options.rng == nullptr, instance i is solved with
+  ///    DeriveBatchOptions(options, i) — i.e. seed + i — making the batch a
+  ///    pure function of (qubos, options) independent of execution order or
+  ///    thread count. A non-null options.rng is honored here (shared,
+  ///    sequential, order-dependent) but rejected by the parallel fan-out.
+  ///  - Partial failure: all-or-nothing. The Status of the lowest-index
+  ///    failing instance is returned, annotated "batch instance <i>:" when
+  ///    the batch has more than one instance (a batch of one reports the
+  ///    bare underlying error, so the single-shot batch-of-one wrappers
+  ///    keep their original messages), and no partial results are exposed.
+  ///    Instances after a failure may or may not have been attempted.
+  virtual Result<std::vector<SampleSet>> SolveBatch(
+      const std::vector<Qubo>& qubos, const SolverOptions& options);
 
   /// Registry key and report-table label ("simulated_annealing", ...).
   virtual std::string name() const = 0;
@@ -105,6 +149,42 @@ Result<SampleSet> SolveWith(const std::string& solver_name, const Qubo& qubo,
 /// SolveX entry points.
 Result<Sample> SolveForBest(const std::string& solver_name, const Qubo& qubo,
                             const SolverOptions& options);
+
+// -- Batched solving ----------------------------------------------------------
+
+/// Registry-level batch entry point: creates backend(s) registered under
+/// `solver_name` and solves all `qubos`, fanning instances out across a
+/// qdm::ThreadPool when num_threads != 1.
+///
+///  - num_threads == 1: strictly sequential on the calling thread via the
+///    backend's SolveBatch (the only mode that honors options.rng).
+///  - num_threads <= 0: uses ThreadPool::DefaultNumThreads().
+///  - num_threads > 1: fans instances out across min(num_threads, batch
+///    size) workers via ThreadPool::ParallelFor (dynamic index scheduling),
+///    one backend instance per instance (QuboSolver implementations are not
+///    required to be thread-safe). Requires options.rng == nullptr
+///    (InvalidArgument otherwise): a shared RNG cannot fan out.
+///
+/// Determinism guarantee: with options.rng == nullptr, instance i is always
+/// solved with seed options.seed + i, so the returned SampleSets are
+/// bit-identical for every num_threads value. Error semantics follow
+/// QuboSolver::SolveBatch (all-or-nothing, lowest failing index reported).
+Result<std::vector<SampleSet>> SolveBatchParallel(
+    const std::string& solver_name, const std::vector<Qubo>& qubos,
+    const SolverOptions& options, int num_threads = 0);
+
+/// The per-instance options a batch entry solves instance `index` with:
+/// identical knobs, rng cleared, and seed = options.seed + index (wrapping
+/// uint64 arithmetic). Exposed so SolveBatch overrides and tests can
+/// reproduce exactly what the default implementations do.
+SolverOptions DeriveBatchOptions(const SolverOptions& options, size_t index);
+
+/// Maps each SampleSet of a batch to its lowest-energy sample, converting an
+/// empty set into an Internal error naming the batch instance — the batch
+/// sibling of SolveForBest and the shared tail of the qopt batch entry
+/// points (SolveMqoBatch, SolveTxnScheduleEpochs).
+Result<std::vector<Sample>> BestOfEach(const std::vector<SampleSet>& sets,
+                                       const std::string& solver_name);
 
 // -- Helpers for QuboSolver implementations ----------------------------------
 

@@ -1,0 +1,85 @@
+#include "qdm/common/thread_pool.h"
+
+#include <algorithm>
+#include <atomic>
+#include <utility>
+
+#include "qdm/common/check.h"
+
+namespace qdm {
+
+ThreadPool::ThreadPool(int num_threads) {
+  if (num_threads <= 0) num_threads = DefaultNumThreads();
+  workers_.reserve(num_threads);
+  for (int i = 0; i < num_threads; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    shutdown_ = true;
+  }
+  work_available_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+void ThreadPool::Submit(std::function<void()> task) {
+  QDM_CHECK(task != nullptr) << "ThreadPool::Submit given a null task";
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    // Submitting while the destructor drains (a running task re-submitting)
+    // is fine: workers keep pulling until the queue is empty, so the new
+    // task still runs before the join completes.
+    queue_.push_back(std::move(task));
+    ++in_flight_;
+  }
+  work_available_.notify_one();
+}
+
+void ThreadPool::Wait() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  all_done_.wait(lock, [this] { return in_flight_ == 0; });
+}
+
+int ThreadPool::DefaultNumThreads() {
+  return std::max(1, static_cast<int>(std::thread::hardware_concurrency()));
+}
+
+void ThreadPool::ParallelFor(int num_threads, int n,
+                             const std::function<void(int)>& body) {
+  if (n <= 0) return;
+  ThreadPool pool(num_threads);
+  // Dynamic scheduling: workers pull the next index off a shared counter, so
+  // uneven per-index cost cannot stall a statically assigned stripe.
+  std::atomic<int> next{0};
+  const int tasks = std::min(pool.num_threads(), n);
+  for (int t = 0; t < tasks; ++t) {
+    pool.Submit([&next, n, &body] {
+      for (int i = next.fetch_add(1); i < n; i = next.fetch_add(1)) body(i);
+    });
+  }
+  pool.Wait();
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      work_available_.wait(lock,
+                           [this] { return shutdown_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // Shutdown with a drained queue.
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (--in_flight_ == 0) all_done_.notify_all();
+    }
+  }
+}
+
+}  // namespace qdm

@@ -1,0 +1,68 @@
+#ifndef QDM_COMMON_THREAD_POOL_H_
+#define QDM_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace qdm {
+
+/// Fixed-size worker pool for fanning independent tasks out across threads.
+/// The batching layer (anneal::SolveBatchParallel) uses it to run many QUBO
+/// instances concurrently; it is deliberately minimal — submit, wait, reuse —
+/// so future fan-out seams (multi-backend racing, embedded-solver sweeps) can
+/// share it without inheriting scheduler policy.
+///
+/// Tasks must not throw (the toolkit is exception-free; failures travel as
+/// Status values captured by the task itself). Submitting from inside a task
+/// is allowed; destruction drains tasks already submitted.
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers; `num_threads <= 0` means
+  /// DefaultNumThreads().
+  explicit ThreadPool(int num_threads);
+
+  /// Joins all workers after draining the queue.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int num_threads() const { return static_cast<int>(workers_.size()); }
+
+  /// Enqueues `task` for execution on some worker thread.
+  void Submit(std::function<void()> task);
+
+  /// Blocks until every task submitted so far has finished. The pool stays
+  /// usable afterwards (Submit/Wait cycles can repeat).
+  void Wait();
+
+  /// Worker count used for `num_threads <= 0`: the hardware concurrency,
+  /// never less than 1.
+  static int DefaultNumThreads();
+
+  /// One-shot data parallelism: runs body(i) for every i in [0, n) across a
+  /// transient pool of `num_threads` workers (dynamic index scheduling) and
+  /// returns when all iterations are done. `body` must be safe to call
+  /// concurrently from different threads for different i.
+  static void ParallelFor(int num_threads, int n,
+                          const std::function<void(int)>& body);
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mutex_;
+  std::condition_variable work_available_;
+  std::condition_variable all_done_;
+  std::deque<std::function<void()>> queue_;
+  int in_flight_ = 0;  // Queued + currently running tasks.
+  bool shutdown_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace qdm
+
+#endif  // QDM_COMMON_THREAD_POOL_H_

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <utility>
 
 #include "qdm/common/check.h"
 
@@ -228,10 +229,32 @@ Result<MqoSolution> SolveMqo(const MqoProblem& problem,
                              const std::string& solver_name,
                              const anneal::SolverOptions& options,
                              double penalty) {
-  anneal::Qubo qubo = MqoToQubo(problem, penalty);
-  QDM_ASSIGN_OR_RETURN(anneal::Sample best,
-                       anneal::SolveForBest(solver_name, qubo, options));
-  return DecodeMqoSample(problem, best.assignment);
+  QDM_ASSIGN_OR_RETURN(
+      std::vector<MqoSolution> solutions,
+      SolveMqoBatch({problem}, solver_name, options, penalty,
+                    /*num_threads=*/1));
+  return std::move(solutions.front());
+}
+
+Result<std::vector<MqoSolution>> SolveMqoBatch(
+    const std::vector<MqoProblem>& problems, const std::string& solver_name,
+    const anneal::SolverOptions& options, double penalty, int num_threads) {
+  std::vector<anneal::Qubo> qubos;
+  qubos.reserve(problems.size());
+  for (const MqoProblem& problem : problems) {
+    qubos.push_back(MqoToQubo(problem, penalty));
+  }
+  QDM_ASSIGN_OR_RETURN(
+      std::vector<anneal::SampleSet> sets,
+      anneal::SolveBatchParallel(solver_name, qubos, options, num_threads));
+  QDM_ASSIGN_OR_RETURN(std::vector<anneal::Sample> best,
+                       anneal::BestOfEach(sets, solver_name));
+  std::vector<MqoSolution> solutions;
+  solutions.reserve(problems.size());
+  for (size_t i = 0; i < problems.size(); ++i) {
+    solutions.push_back(DecodeMqoSample(problems[i], best[i].assignment));
+  }
+  return solutions;
 }
 
 }  // namespace qopt

@@ -68,10 +68,24 @@ MqoSolution DecodeMqoSample(const MqoProblem& problem,
 
 /// MQO end-to-end through the QuboSolver registry: encode, dispatch to the
 /// backend registered under `solver_name`, strict-decode the best sample.
+/// Thin wrapper over SolveMqoBatch with a one-element batch (sequential, so
+/// options.rng is honored).
 Result<MqoSolution> SolveMqo(const MqoProblem& problem,
                              const std::string& solver_name,
                              const anneal::SolverOptions& options,
                              double penalty = 0.0);
+
+/// Batched MQO, one QUBO per query group: encodes every problem, dispatches
+/// the whole batch through anneal::SolveBatchParallel (fanning out across
+/// `num_threads` pool workers when != 1), and strict-decodes each best
+/// sample. solutions[i] corresponds to problems[i]. Inherits the batch
+/// determinism guarantee: with options.rng == nullptr, problem i is solved
+/// with seed options.seed + i, independent of thread count. All-or-nothing
+/// on failure (lowest failing instance reported).
+Result<std::vector<MqoSolution>> SolveMqoBatch(
+    const std::vector<MqoProblem>& problems, const std::string& solver_name,
+    const anneal::SolverOptions& options, double penalty = 0.0,
+    int num_threads = 1);
 
 /// Classical baselines.
 MqoSolution ExhaustiveMqo(const MqoProblem& problem);        // Exponential.

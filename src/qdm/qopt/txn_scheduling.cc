@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <map>
+#include <utility>
 
 #include "qdm/common/check.h"
 
@@ -269,10 +270,33 @@ Result<Schedule> SolveTxnSchedule(const TxnScheduleProblem& problem,
                                   const std::string& solver_name,
                                   const anneal::SolverOptions& options,
                                   double conflict_penalty, double slot_weight) {
-  anneal::Qubo qubo = TxnScheduleToQubo(problem, conflict_penalty, slot_weight);
-  QDM_ASSIGN_OR_RETURN(anneal::Sample best,
-                       anneal::SolveForBest(solver_name, qubo, options));
-  return DecodeSchedule(problem, best.assignment);
+  QDM_ASSIGN_OR_RETURN(
+      std::vector<Schedule> schedules,
+      SolveTxnScheduleEpochs({problem}, solver_name, options, conflict_penalty,
+                             slot_weight, /*num_threads=*/1));
+  return std::move(schedules.front());
+}
+
+Result<std::vector<Schedule>> SolveTxnScheduleEpochs(
+    const std::vector<TxnScheduleProblem>& epochs,
+    const std::string& solver_name, const anneal::SolverOptions& options,
+    double conflict_penalty, double slot_weight, int num_threads) {
+  std::vector<anneal::Qubo> qubos;
+  qubos.reserve(epochs.size());
+  for (const TxnScheduleProblem& epoch : epochs) {
+    qubos.push_back(TxnScheduleToQubo(epoch, conflict_penalty, slot_weight));
+  }
+  QDM_ASSIGN_OR_RETURN(
+      std::vector<anneal::SampleSet> sets,
+      anneal::SolveBatchParallel(solver_name, qubos, options, num_threads));
+  QDM_ASSIGN_OR_RETURN(std::vector<anneal::Sample> best,
+                       anneal::BestOfEach(sets, solver_name));
+  std::vector<Schedule> schedules;
+  schedules.reserve(epochs.size());
+  for (size_t i = 0; i < epochs.size(); ++i) {
+    schedules.push_back(DecodeSchedule(epochs[i], best[i].assignment));
+  }
+  return schedules;
 }
 
 }  // namespace qopt

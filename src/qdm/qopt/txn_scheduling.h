@@ -56,12 +56,27 @@ Schedule DecodeSchedule(const TxnScheduleProblem& problem,
                         const anneal::Assignment& assignment);
 
 /// Transaction scheduling end-to-end through the QuboSolver registry:
-/// encode, dispatch to `solver_name`, strict-decode the best sample.
+/// encode, dispatch to `solver_name`, strict-decode the best sample. Thin
+/// wrapper over SolveTxnScheduleEpochs with a one-element batch (sequential,
+/// so options.rng is honored).
 Result<Schedule> SolveTxnSchedule(const TxnScheduleProblem& problem,
                                   const std::string& solver_name,
                                   const anneal::SolverOptions& options,
                                   double conflict_penalty = 0.0,
                                   double slot_weight = 1.0);
+
+/// Batched scheduling, one QUBO per epoch of incoming transactions (the
+/// per-epoch batches of Bittner & Groppe): encodes every epoch, dispatches
+/// the batch through anneal::SolveBatchParallel (fanning out across
+/// `num_threads` pool workers when != 1), strict-decodes each best sample.
+/// schedules[i] corresponds to epochs[i]. With options.rng == nullptr,
+/// epoch i is solved with seed options.seed + i — bit-identical results for
+/// every thread count. All-or-nothing on failure.
+Result<std::vector<Schedule>> SolveTxnScheduleEpochs(
+    const std::vector<TxnScheduleProblem>& epochs,
+    const std::string& solver_name, const anneal::SolverOptions& options,
+    double conflict_penalty = 0.0, double slot_weight = 1.0,
+    int num_threads = 1);
 
 /// Classical baseline: greedy graph coloring (largest-degree-first) of the
 /// conflict graph; colors become slots.

@@ -1,0 +1,105 @@
+#include "qdm/common/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <condition_variable>
+#include <mutex>
+#include <vector>
+
+namespace qdm {
+namespace {
+
+TEST(ThreadPoolTest, RunsEverySubmittedTask) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.num_threads(), 4);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.Submit([&counter] { counter.fetch_add(1); });
+  }
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPoolTest, MoreThreadsThanTasksIsFine) {
+  ThreadPool pool(8);
+  std::atomic<int> counter{0};
+  pool.Submit([&counter] { counter.fetch_add(1); });
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 1);
+}
+
+TEST(ThreadPoolTest, PoolIsReusableAcrossWaitCycles) {
+  ThreadPool pool(2);
+  std::atomic<int> counter{0};
+  for (int round = 0; round < 3; ++round) {
+    for (int i = 0; i < 10; ++i) {
+      pool.Submit([&counter] { counter.fetch_add(1); });
+    }
+    pool.Wait();
+    EXPECT_EQ(counter.load(), (round + 1) * 10);
+  }
+}
+
+TEST(ThreadPoolTest, WaitWithNothingSubmittedReturnsImmediately) {
+  ThreadPool pool(2);
+  pool.Wait();
+}
+
+TEST(ThreadPoolTest, DestructorDrainsPendingTasks) {
+  std::atomic<int> counter{0};
+  {
+    ThreadPool pool(1);
+    for (int i = 0; i < 50; ++i) {
+      pool.Submit([&counter] { counter.fetch_add(1); });
+    }
+    // No Wait(): the destructor must still run everything already queued.
+  }
+  EXPECT_EQ(counter.load(), 50);
+}
+
+TEST(ThreadPoolTest, TasksRunConcurrently) {
+  // Two tasks that each block until the other has started can only finish
+  // when two workers are live simultaneously (works even on one core: the
+  // OS interleaves the blocked threads).
+  ThreadPool pool(2);
+  std::mutex mutex;
+  std::condition_variable cv;
+  int started = 0;
+  for (int t = 0; t < 2; ++t) {
+    pool.Submit([&] {
+      std::unique_lock<std::mutex> lock(mutex);
+      ++started;
+      cv.notify_all();
+      cv.wait(lock, [&] { return started == 2; });
+    });
+  }
+  pool.Wait();
+  EXPECT_EQ(started, 2);
+}
+
+TEST(ThreadPoolTest, ParallelForCoversEveryIndexExactlyOnce) {
+  const int n = 1000;
+  std::vector<std::atomic<int>> hits(n);
+  for (auto& h : hits) h.store(0);
+  ThreadPool::ParallelFor(4, n, [&hits](int i) { hits[i].fetch_add(1); });
+  for (int i = 0; i < n; ++i) {
+    ASSERT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ThreadPoolTest, ParallelForHandlesEmptyAndSingleRanges) {
+  ThreadPool::ParallelFor(4, 0, [](int) { FAIL() << "body on empty range"; });
+  std::atomic<int> counter{0};
+  ThreadPool::ParallelFor(4, 1, [&counter](int) { counter.fetch_add(1); });
+  EXPECT_EQ(counter.load(), 1);
+}
+
+TEST(ThreadPoolTest, NonPositiveThreadCountFallsBackToHardware) {
+  ThreadPool pool(0);
+  EXPECT_GE(pool.num_threads(), 1);
+  EXPECT_EQ(pool.num_threads(), ThreadPool::DefaultNumThreads());
+}
+
+}  // namespace
+}  // namespace qdm
