@@ -75,6 +75,67 @@ void BM_DiagonalPhasePrecomputed(benchmark::State& state) {
 }
 BENCHMARK(BM_DiagonalPhasePrecomputed)->Arg(16)->Arg(20);
 
+// Thread sweep over the parallel gate kernels on a 20-qubit state (the
+// regime the QAOA/Grover workloads bottleneck in). Serial cutoff is forced
+// low so every row times the same dispatch path; threads=1 is the serial
+// baseline the perf gate compares the parallel rows against. Each sweep
+// first asserts the parallel state is bit-identical to the serial one —
+// the kernel-level determinism guarantee, measured where it is claimed.
+void BM_Hadamard1QThreads(benchmark::State& state) {
+  const int n = 20;
+  const int threads = static_cast<int>(state.range(0));
+  const qdm::sim::ExecutionConfig config{threads, /*serial_cutoff=*/2};
+  const qdm::linalg::Matrix h =
+      qdm::circuit::SingleQubitMatrix(qdm::circuit::GateKind::kH, {});
+  {
+    qdm::sim::Statevector serial(n);
+    serial.set_execution_config({1, 2});
+    qdm::sim::Statevector parallel(n);
+    parallel.set_execution_config(config);
+    for (int q = 0; q < n; ++q) serial.Apply1Q(h, q);
+    for (int q = 0; q < n; ++q) parallel.Apply1Q(h, q);
+    QDM_CHECK(serial.amplitudes() == parallel.amplitudes())
+        << "parallel Apply1Q diverged from the serial kernel";
+  }
+  qdm::sim::Statevector sv(n);
+  sv.set_execution_config(config);
+  for (auto _ : state) {
+    for (int q = 0; q < n; ++q) sv.Apply1Q(h, q);
+    benchmark::DoNotOptimize(sv.amplitudes().data());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_Hadamard1QThreads)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->UseRealTime();
+
+void BM_DiagonalPhaseThreads(benchmark::State& state) {
+  const int n = 20;
+  const int threads = static_cast<int>(state.range(0));
+  const uint64_t dim = uint64_t{1} << n;
+  std::vector<double> diagonal(dim);
+  for (uint64_t z = 0; z < dim; ++z) {
+    diagonal[z] = 0.01 * static_cast<double>(z % 97);
+  }
+  const qdm::sim::ExecutionConfig config{threads, /*serial_cutoff=*/2};
+  {
+    qdm::sim::Statevector serial(n);
+    serial.set_execution_config({1, 2});
+    qdm::sim::Statevector parallel(n);
+    parallel.set_execution_config(config);
+    serial.ApplyDiagonalPhase(diagonal, -0.5);
+    parallel.ApplyDiagonalPhase(diagonal, -0.5);
+    QDM_CHECK(serial.amplitudes() == parallel.amplitudes())
+        << "parallel ApplyDiagonalPhase diverged from the serial kernel";
+  }
+  qdm::sim::Statevector sv(n);
+  sv.set_execution_config(config);
+  for (auto _ : state) {
+    sv.ApplyDiagonalPhase(diagonal, -0.5);
+    benchmark::DoNotOptimize(sv.amplitudes().data());
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(dim));
+}
+BENCHMARK(BM_DiagonalPhaseThreads)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->UseRealTime();
+
 void BM_CnotLadder(benchmark::State& state) {
   const int n = static_cast<int>(state.range(0));
   qdm::circuit::Circuit c(n);

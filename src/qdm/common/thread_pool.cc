@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <memory>
 #include <utility>
 
 #include "qdm/common/check.h"
@@ -44,7 +45,53 @@ void ThreadPool::Wait() {
 }
 
 int ThreadPool::DefaultNumThreads() {
-  return std::max(1, static_cast<int>(std::thread::hardware_concurrency()));
+  // Cached: hardware_concurrency() is a syscall on Linux, and this sits on
+  // the per-gate config-resolution path of the statevector kernels.
+  static const int num_threads =
+      std::max(1, static_cast<int>(std::thread::hardware_concurrency()));
+  return num_threads;
+}
+
+ThreadPool& ThreadPool::Shared() {
+  // Deliberately leaked (never joined): see the header.
+  static ThreadPool* pool = new ThreadPool(0);
+  return *pool;
+}
+
+void ThreadPool::ForEach(int n, const std::function<void(int)>& body) {
+  if (n <= 0) return;
+  // Per-call completion state, shared with helper tasks so a helper that is
+  // scheduled after the call already returned (all indices drained by the
+  // caller or other workers) still finds valid memory and exits cleanly.
+  struct CallState {
+    CallState(int n, std::function<void(int)> body)
+        : n(n), body(std::move(body)) {}
+    const int n;
+    const std::function<void(int)> body;
+    std::atomic<int> next{0};
+    std::atomic<int> done{0};
+    std::mutex mutex;
+    std::condition_variable all_done;
+  };
+  auto state = std::make_shared<CallState>(n, body);
+  const auto drain = [](const std::shared_ptr<CallState>& s) {
+    for (int i = s->next.fetch_add(1); i < s->n; i = s->next.fetch_add(1)) {
+      s->body(i);
+      if (s->done.fetch_add(1) + 1 == s->n) {
+        // Lock before notifying so the waiter cannot miss the wakeup
+        // between its predicate check and its wait.
+        std::lock_guard<std::mutex> lock(s->mutex);
+        s->all_done.notify_all();
+      }
+    }
+  };
+  const int helpers = std::min(num_threads(), n);
+  for (int t = 0; t < helpers; ++t) {
+    Submit([state, drain] { drain(state); });
+  }
+  drain(state);  // The caller participates: nested calls always progress.
+  std::unique_lock<std::mutex> lock(state->mutex);
+  state->all_done.wait(lock, [&] { return state->done.load() == n; });
 }
 
 void ThreadPool::ParallelFor(int num_threads, int n,

@@ -44,6 +44,27 @@ class ThreadPool {
   /// never less than 1.
   static int DefaultNumThreads();
 
+  /// Process-wide pool shared by data-parallel kernels (the parallel
+  /// statevector gate kernels dispatch their chunks here, so per-gate
+  /// dispatch never spawns threads). Lazily created with
+  /// DefaultNumThreads() workers and intentionally never destroyed, so it
+  /// stays usable from any shutdown context.
+  static ThreadPool& Shared();
+
+  /// Runs body(i) for every i in [0, n) using this pool's workers AND the
+  /// calling thread, returning when all n iterations are done. Because the
+  /// caller participates in draining the shared index counter, the call
+  /// makes progress even when every worker is busy — nested use from inside
+  /// pool tasks cannot deadlock (worst case the caller runs all n
+  /// iterations itself). `body` must be safe to call concurrently for
+  /// different i and — like every task (see class comment) — must not
+  /// throw: an exception escaping a worker terminates the process, and one
+  /// escaping the caller's own drain would unwind past helpers still
+  /// referencing the call state. Iteration-to-thread assignment is dynamic,
+  /// so callers needing determinism must make body(i) independent of
+  /// execution order.
+  void ForEach(int n, const std::function<void(int)>& body);
+
   /// One-shot data parallelism: runs body(i) for every i in [0, n) across a
   /// transient pool of `num_threads` workers (dynamic index scheduling) and
   /// returns when all iterations are done. `body` must be safe to call

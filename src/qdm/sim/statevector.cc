@@ -1,8 +1,11 @@
 #include "qdm/sim/statevector.h"
 
+#include <algorithm>
+#include <atomic>
 #include <cmath>
 
 #include "qdm/common/strings.h"
+#include "qdm/common/thread_pool.h"
 
 namespace qdm {
 namespace sim {
@@ -17,7 +20,100 @@ int Log2(size_t n) {
   return k;
 }
 
+// Process-wide default ExecutionConfig, stored as independent atomics so the
+// per-gate resolution path is lock-free (a mutex here would serialize every
+// gate call of every thread in the process). The knobs are set/read
+// independently, so a reader racing a concurrent SetDefaultExecutionConfig
+// can observe one old and one new knob — acceptable for a tuning knob that
+// callers set at startup or around a test scope, never mid-kernel.
+std::atomic<int> g_default_num_threads{0};
+std::atomic<uint64_t> g_default_serial_cutoff{0};
+
+// Serial halves of the pair kernels, hoisted into standalone functions so
+// their codegen stays isolated from the lambda-bearing parallel branches:
+// this member/reference-indexed two-level group loop is the form the
+// compiler SLP-vectorizes (pointer or lambda rewrites of the same loop
+// measure ~1.6x slower), and it is the pre-parallel kernel verbatim.
+void SerialApply1Q(std::vector<Complex>& amplitudes, size_t step, Complex u00,
+                   Complex u01, Complex u10, Complex u11) {
+  for (size_t group = 0; group < amplitudes.size(); group += 2 * step) {
+    for (size_t i = group; i < group + step; ++i) {
+      const Complex a0 = amplitudes[i];
+      const Complex a1 = amplitudes[i + step];
+      amplitudes[i] = u00 * a0 + u01 * a1;
+      amplitudes[i + step] = u10 * a0 + u11 * a1;
+    }
+  }
+}
+
+void SerialApplyControlled1Q(std::vector<Complex>& amplitudes, size_t step,
+                             uint64_t control_mask, Complex u00, Complex u01,
+                             Complex u10, Complex u11) {
+  for (size_t group = 0; group < amplitudes.size(); group += 2 * step) {
+    for (size_t i = group; i < group + step; ++i) {
+      if ((i & control_mask) != control_mask) continue;
+      const Complex a0 = amplitudes[i];
+      const Complex a1 = amplitudes[i + step];
+      amplitudes[i] = u00 * a0 + u01 * a1;
+      amplitudes[i + step] = u10 * a0 + u11 * a1;
+    }
+  }
+}
+
 }  // namespace
+
+void Statevector::SetDefaultExecutionConfig(const ExecutionConfig& config) {
+  g_default_num_threads.store(config.num_threads, std::memory_order_relaxed);
+  g_default_serial_cutoff.store(config.serial_cutoff,
+                                std::memory_order_relaxed);
+}
+
+ExecutionConfig Statevector::DefaultExecutionConfig() {
+  return ExecutionConfig{
+      g_default_num_threads.load(std::memory_order_relaxed),
+      g_default_serial_cutoff.load(std::memory_order_relaxed)};
+}
+
+int Statevector::ResolvedNumThreads() const {
+  int threads = execution_config_.num_threads;
+  if (threads <= 0) {
+    threads = g_default_num_threads.load(std::memory_order_relaxed);
+  }
+  if (threads <= 0) threads = ThreadPool::DefaultNumThreads();
+  return threads;
+}
+
+uint64_t Statevector::ResolvedSerialCutoff() const {
+  uint64_t cutoff = execution_config_.serial_cutoff;
+  if (cutoff == 0) {
+    cutoff = g_default_serial_cutoff.load(std::memory_order_relaxed);
+  }
+  if (cutoff == 0) cutoff = kDefaultSerialCutoff;
+  return cutoff;
+}
+
+bool Statevector::UseSerialKernel() const {
+  return ResolvedNumThreads() <= 1 ||
+         amplitudes_.size() < ResolvedSerialCutoff();
+}
+
+void Statevector::RunChunksParallel(
+    uint64_t n, const std::function<void(uint64_t, uint64_t)>& body) const {
+  // One contiguous chunk per participating thread, dispatched over the
+  // process-wide shared pool (ThreadPool::Shared — no thread spawn per gate;
+  // the caller participates, so nested use inside pool workers cannot
+  // deadlock). The chunk boundaries depend only on (n, resolved threads) —
+  // never on which worker picks which chunk — so any scheduling order
+  // writes the exact same values.
+  const int chunks =
+      static_cast<int>(std::min<uint64_t>(ResolvedNumThreads(), n));
+  const uint64_t chunk_size = (n + chunks - 1) / chunks;
+  ThreadPool::Shared().ForEach(chunks, [&](int c) {
+    const uint64_t begin = chunk_size * static_cast<uint64_t>(c);
+    const uint64_t end = std::min(begin + chunk_size, n);
+    if (begin < end) body(begin, end);
+  });
+}
 
 Statevector::Statevector(int num_qubits) : num_qubits_(num_qubits) {
   QDM_CHECK_GT(num_qubits, 0);
@@ -43,14 +139,38 @@ void Statevector::Apply1Q(const linalg::Matrix& u, int q) {
   QDM_CHECK(q >= 0 && q < num_qubits_);
   const size_t step = size_t{1} << q;
   const Complex u00 = u(0, 0), u01 = u(0, 1), u10 = u(1, 0), u11 = u(1, 1);
-  for (size_t group = 0; group < amplitudes_.size(); group += 2 * step) {
-    for (size_t i = group; i < group + step; ++i) {
-      const Complex a0 = amplitudes_[i];
-      const Complex a1 = amplitudes_[i + step];
-      amplitudes_[i] = u00 * a0 + u01 * a1;
-      amplitudes_[i + step] = u10 * a0 + u11 * a1;
-    }
+  if (UseSerialKernel()) {
+    SerialApply1Q(amplitudes_, step, u00, u01, u10, u11);
+    return;
   }
+  // Parallel branch: pair p enumerates the amplitude pairs (i, i + step)
+  // with the target bit clear/set; pairs are disjoint, so chunks of the
+  // pair range never share an element. Each chunk is walked as leading
+  // partial group / full groups / trailing partial group to keep the inner
+  // loops contiguous. Identical arithmetic per pair -> bit-identical to the
+  // serial branch (pinned by statevector_parallel_test).
+  const uint64_t low_mask = step - 1;
+  Complex* amp = amplitudes_.data();
+  const auto apply_run = [&](uint64_t pair, uint64_t run) {
+    Complex* lo = amp + (((pair & ~low_mask) << 1) | (pair & low_mask));
+    Complex* hi = lo + step;
+    for (uint64_t k = 0; k < run; ++k) {
+      const Complex a0 = lo[k];
+      const Complex a1 = hi[k];
+      lo[k] = u00 * a0 + u01 * a1;
+      hi[k] = u10 * a0 + u11 * a1;
+    }
+  };
+  RunChunksParallel(amplitudes_.size() >> 1, [&](uint64_t begin, uint64_t end) {
+    uint64_t p = begin;
+    if ((p & low_mask) != 0) {  // Leading partial group.
+      const uint64_t run = std::min(step - (p & low_mask), end - p);
+      apply_run(p, run);
+      p += run;
+    }
+    for (; p + step <= end; p += step) apply_run(p, step);  // Full groups.
+    if (p < end) apply_run(p, end - p);  // Trailing partial group.
+  });
 }
 
 void Statevector::ApplyControlled1Q(const std::vector<int>& controls, int target,
@@ -64,28 +184,65 @@ void Statevector::ApplyControlled1Q(const std::vector<int>& controls, int target
   }
   const size_t step = size_t{1} << target;
   const Complex u00 = u(0, 0), u01 = u(0, 1), u10 = u(1, 0), u11 = u(1, 1);
-  for (size_t group = 0; group < amplitudes_.size(); group += 2 * step) {
-    for (size_t i = group; i < group + step; ++i) {
-      if ((i & control_mask) != control_mask) continue;
-      const Complex a0 = amplitudes_[i];
-      const Complex a1 = amplitudes_[i + step];
-      amplitudes_[i] = u00 * a0 + u01 * a1;
-      amplitudes_[i + step] = u10 * a0 + u11 * a1;
-    }
+  if (UseSerialKernel()) {
+    SerialApplyControlled1Q(amplitudes_, step, control_mask, u00, u01, u10,
+                            u11);
+    return;
   }
+  // Parallel branch: same partial/full/partial group walk as Apply1Q; the
+  // control mask (which excludes the target bit) is tested on the lower
+  // pair index i.
+  const uint64_t low_mask = step - 1;
+  Complex* amp = amplitudes_.data();
+  const auto apply_run = [&](uint64_t pair, uint64_t run) {
+    const uint64_t base = ((pair & ~low_mask) << 1) | (pair & low_mask);
+    for (uint64_t k = 0; k < run; ++k) {
+      const uint64_t i = base + k;
+      if ((i & control_mask) != control_mask) continue;
+      const Complex a0 = amp[i];
+      const Complex a1 = amp[i + step];
+      amp[i] = u00 * a0 + u01 * a1;
+      amp[i + step] = u10 * a0 + u11 * a1;
+    }
+  };
+  RunChunksParallel(amplitudes_.size() >> 1, [&](uint64_t begin, uint64_t end) {
+    uint64_t p = begin;
+    if ((p & low_mask) != 0) {  // Leading partial group.
+      const uint64_t run = std::min(step - (p & low_mask), end - p);
+      apply_run(p, run);
+      p += run;
+    }
+    for (; p + step <= end; p += step) apply_run(p, step);  // Full groups.
+    if (p < end) apply_run(p, end - p);  // Trailing partial group.
+  });
 }
 
 void Statevector::ApplySwap(int a, int b) {
   QDM_CHECK(a >= 0 && a < num_qubits_ && b >= 0 && b < num_qubits_ && a != b);
   const uint64_t bit_a = uint64_t{1} << a;
   const uint64_t bit_b = uint64_t{1} << b;
-  for (size_t i = 0; i < amplitudes_.size(); ++i) {
-    // Visit each mismatched pair once: a-bit set, b-bit clear.
-    if ((i & bit_a) != 0 && (i & bit_b) == 0) {
-      size_t j = (i & ~bit_a) | bit_b;
-      std::swap(amplitudes_[i], amplitudes_[j]);
+  // Visit each mismatched pair once, keyed by the index with the a-bit set
+  // and the b-bit clear. The partner j fails that predicate, so even when j
+  // falls in another worker's chunk only the chunk owning i touches the
+  // pair — chunks write disjoint element sets.
+  if (UseSerialKernel()) {
+    for (size_t i = 0; i < amplitudes_.size(); ++i) {
+      if ((i & bit_a) != 0 && (i & bit_b) == 0) {
+        size_t j = (i & ~bit_a) | bit_b;
+        std::swap(amplitudes_[i], amplitudes_[j]);
+      }
     }
+    return;
   }
+  Complex* amp = amplitudes_.data();
+  RunChunksParallel(amplitudes_.size(), [&](uint64_t begin, uint64_t end) {
+    for (uint64_t i = begin; i < end; ++i) {
+      if ((i & bit_a) != 0 && (i & bit_b) == 0) {
+        const uint64_t j = (i & ~bit_a) | bit_b;
+        std::swap(amp[i], amp[j]);
+      }
+    }
+  });
 }
 
 void Statevector::ApplyControlledSwap(int control, int a, int b) {
@@ -93,31 +250,63 @@ void Statevector::ApplyControlledSwap(int control, int a, int b) {
   const uint64_t bit_c = uint64_t{1} << control;
   const uint64_t bit_a = uint64_t{1} << a;
   const uint64_t bit_b = uint64_t{1} << b;
-  for (size_t i = 0; i < amplitudes_.size(); ++i) {
-    if ((i & bit_c) != 0 && (i & bit_a) != 0 && (i & bit_b) == 0) {
-      size_t j = (i & ~bit_a) | bit_b;
-      std::swap(amplitudes_[i], amplitudes_[j]);
+  // Same pair-ownership argument as ApplySwap: the partner j shares the
+  // control bit but has the a-bit clear, so no other chunk touches it.
+  if (UseSerialKernel()) {
+    for (size_t i = 0; i < amplitudes_.size(); ++i) {
+      if ((i & bit_c) != 0 && (i & bit_a) != 0 && (i & bit_b) == 0) {
+        size_t j = (i & ~bit_a) | bit_b;
+        std::swap(amplitudes_[i], amplitudes_[j]);
+      }
     }
+    return;
   }
+  Complex* amp = amplitudes_.data();
+  RunChunksParallel(amplitudes_.size(), [&](uint64_t begin, uint64_t end) {
+    for (uint64_t i = begin; i < end; ++i) {
+      if ((i & bit_c) != 0 && (i & bit_a) != 0 && (i & bit_b) == 0) {
+        const uint64_t j = (i & ~bit_a) | bit_b;
+        std::swap(amp[i], amp[j]);
+      }
+    }
+  });
 }
 
 void Statevector::ApplyDiagonalPhase(
     const std::function<double(uint64_t)>& phase) {
-  for (size_t z = 0; z < amplitudes_.size(); ++z) {
-    amplitudes_[z] *= std::polar(1.0, phase(z));
+  if (UseSerialKernel()) {
+    for (size_t z = 0; z < amplitudes_.size(); ++z) {
+      amplitudes_[z] *= std::polar(1.0, phase(z));
+    }
+    return;
   }
+  Complex* amp = amplitudes_.data();
+  RunChunksParallel(amplitudes_.size(), [&](uint64_t begin, uint64_t end) {
+    for (uint64_t z = begin; z < end; ++z) {
+      amp[z] *= std::polar(1.0, phase(z));
+    }
+  });
 }
 
 void Statevector::ApplyDiagonalPhase(const std::vector<double>& phases,
                                      double scale) {
   QDM_CHECK_EQ(phases.size(), amplitudes_.size())
-      << "diagonal length must match the state dimension";
+      << "ApplyDiagonalPhase: diagonal length " << phases.size()
+      << " must equal the state dimension " << amplitudes_.size();
   const double* phase = phases.data();
   Complex* amp = amplitudes_.data();
-  const size_t dim = amplitudes_.size();
-  for (size_t z = 0; z < dim; ++z) {
-    amp[z] *= std::polar(1.0, scale * phase[z]);
+  if (UseSerialKernel()) {
+    const size_t dim = amplitudes_.size();
+    for (size_t z = 0; z < dim; ++z) {
+      amp[z] *= std::polar(1.0, scale * phase[z]);
+    }
+    return;
   }
+  RunChunksParallel(amplitudes_.size(), [&](uint64_t begin, uint64_t end) {
+    for (uint64_t z = begin; z < end; ++z) {
+      amp[z] *= std::polar(1.0, scale * phase[z]);
+    }
+  });
 }
 
 void Statevector::ApplyGate(const circuit::Gate& gate) {

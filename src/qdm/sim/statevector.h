@@ -15,6 +15,32 @@
 namespace qdm {
 namespace sim {
 
+/// Execution configuration for the Statevector gate kernels.
+///
+/// Zero-means-default convention (same as anneal::SolverOptions): each knob
+/// treats 0 as "defer to the next level". Resolution order is instance
+/// config -> process-wide default (Statevector::SetDefaultExecutionConfig)
+/// -> built-in default, so library paths that construct state vectors
+/// internally (ApplyCircuit, the trajectory simulator, the QAOA/VQE/Grover
+/// bridges in algo/) pick up a process-wide setting with no call-site churn.
+///
+///   num_threads    0 = defer; resolved default is
+///                  ThreadPool::DefaultNumThreads(). 1 = strictly serial.
+///   serial_cutoff  0 = defer; resolved default is
+///                  Statevector::kDefaultSerialCutoff. States whose
+///                  dimension() is below the resolved cutoff always run the
+///                  serial kernels, so small states pay no fan-out overhead.
+///
+/// Determinism: the parallel kernels partition the amplitude array into
+/// contiguous chunks of independent elementwise/pairwise updates — no
+/// reductions are reordered — so results are bit-identical to the serial
+/// kernels at every thread count (the kernel-level extension of the batch
+/// layer's `seed + index` guarantee; see docs/batching.md).
+struct ExecutionConfig {
+  int num_threads = 0;
+  uint64_t serial_cutoff = 0;
+};
+
 /// Dense state-vector simulator state over `num_qubits` qubits.
 ///
 /// Convention: qubit q is bit q (least-significant = qubit 0) of the
@@ -33,6 +59,28 @@ class Statevector {
   /// the vector is normalized if `normalize` is set).
   static Statevector FromAmplitudes(std::vector<Complex> amplitudes,
                                     bool normalize = false);
+
+  // -- Kernel execution config ------------------------------------------------
+
+  /// Resolved serial_cutoff when neither the instance nor the process-wide
+  /// default sets one: states below 2^16 amplitudes stay serial.
+  static constexpr uint64_t kDefaultSerialCutoff = uint64_t{1} << 16;
+
+  /// Process-wide default ExecutionConfig, consulted by every Statevector
+  /// whose own config leaves a knob at 0. Thread-safe.
+  static void SetDefaultExecutionConfig(const ExecutionConfig& config);
+  static ExecutionConfig DefaultExecutionConfig();
+
+  /// Per-instance override; knobs left at 0 defer to the process default.
+  void set_execution_config(const ExecutionConfig& config) {
+    execution_config_ = config;
+  }
+  const ExecutionConfig& execution_config() const { return execution_config_; }
+
+  /// The thread count / cutoff the kernels will actually use after the
+  /// instance -> process default -> built-in resolution.
+  int ResolvedNumThreads() const;
+  uint64_t ResolvedSerialCutoff() const;
 
   int num_qubits() const { return num_qubits_; }
   size_t dimension() const { return amplitudes_.size(); }
@@ -59,13 +107,17 @@ class Statevector {
 
   /// Multiplies amplitude of basis state z by exp(i * phase(z)). This is the
   /// fast path for diagonal operators (QAOA cost layers, Grover oracles).
+  /// When the execution config enables parallel kernels, `phase` is invoked
+  /// concurrently from pool workers and must be safe to call concurrently
+  /// for distinct z and must not throw (the toolkit is exception-free; see
+  /// qdm::ThreadPool) — pure functions satisfy both.
   void ApplyDiagonalPhase(const std::function<double(uint64_t)>& phase);
 
-  /// Same operation from a precomputed diagonal (length == dimension()):
-  /// multiplies amplitude of basis state z by exp(i * scale * phases[z]).
-  /// Hot path for loops that reapply one diagonal with varying prefactors
-  /// (QAOA layers, Grover oracle sweeps) — no per-element std::function
-  /// indirection.
+  /// Same operation from a precomputed diagonal (length must equal
+  /// dimension(); checked): multiplies amplitude of basis state z by
+  /// exp(i * scale * phases[z]). Hot path for loops that reapply one
+  /// diagonal with varying prefactors (QAOA layers, Grover oracle sweeps) —
+  /// no per-element std::function indirection.
   void ApplyDiagonalPhase(const std::vector<double>& phases, double scale = 1.0);
 
   /// Applies one circuit gate / a whole circuit (circuit must be fully bound).
@@ -112,8 +164,25 @@ class Statevector {
  private:
   Statevector() : num_qubits_(0) {}
 
+  /// True when a kernel should take its serial branch: resolved thread
+  /// count 1, or dimension() below the resolved serial cutoff. Each kernel
+  /// keeps the pre-parallel loop verbatim behind this check (the compiler
+  /// vectorizes that form best) and pairs it with a chunked parallel branch
+  /// proven bit-identical by statevector_parallel_test.
+  bool UseSerialKernel() const;
+
+  /// Kernel fan-out seam: runs body(begin, end) over a partition of [0, n)
+  /// into contiguous chunks dispatched over the process-wide
+  /// ThreadPool::Shared() pool (caller-participating, so nested use cannot
+  /// deadlock). Chunks never overlap and their boundaries depend only on
+  /// (n, resolved threads), so kernels whose per-element updates are
+  /// independent stay bit-identical at every thread count.
+  void RunChunksParallel(
+      uint64_t n, const std::function<void(uint64_t, uint64_t)>& body) const;
+
   int num_qubits_;
   std::vector<Complex> amplitudes_;
+  ExecutionConfig execution_config_;
 };
 
 /// Runs `c` on |0...0> and returns the final state.

@@ -7,6 +7,11 @@
 #include <mutex>
 #include <vector>
 
+#include "qdm/anneal/qubo.h"
+#include "qdm/anneal/solver.h"
+#include "qdm/common/rng.h"
+#include "qdm/sim/statevector.h"
+
 namespace qdm {
 namespace {
 
@@ -99,6 +104,108 @@ TEST(ThreadPoolTest, NonPositiveThreadCountFallsBackToHardware) {
   ThreadPool pool(0);
   EXPECT_GE(pool.num_threads(), 1);
   EXPECT_EQ(pool.num_threads(), ThreadPool::DefaultNumThreads());
+}
+
+TEST(ThreadPoolTest, ForEachCoversEveryIndexExactlyOnce) {
+  const int n = 1000;
+  std::vector<std::atomic<int>> hits(n);
+  for (auto& h : hits) h.store(0);
+  ThreadPool::Shared().ForEach(n, [&hits](int i) { hits[i].fetch_add(1); });
+  for (int i = 0; i < n; ++i) {
+    ASSERT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ThreadPoolTest, ForEachHandlesEmptyAndSingleRanges) {
+  ThreadPool::Shared().ForEach(0, [](int) { FAIL() << "body on empty range"; });
+  std::atomic<int> counter{0};
+  ThreadPool::Shared().ForEach(1, [&counter](int) { counter.fetch_add(1); });
+  EXPECT_EQ(counter.load(), 1);
+}
+
+TEST(ThreadPoolTest, SharedForEachNestsWithoutDeadlock) {
+  // ForEach bodies that themselves call ForEach on the SAME shared pool are
+  // the hard nesting case: every worker may be busy with an outer body, so
+  // inner calls can only finish because the calling thread participates in
+  // draining its own index counter. Worst case everything runs inline —
+  // never a deadlock.
+  std::atomic<int> inner_iterations{0};
+  ThreadPool::Shared().ForEach(8, [&inner_iterations](int) {
+    ThreadPool::Shared().ForEach(16, [&inner_iterations](int) {
+      inner_iterations.fetch_add(1);
+    });
+  });
+  EXPECT_EQ(inner_iterations.load(), 8 * 16);
+}
+
+TEST(ThreadPoolTest, NestedParallelForInsideWorkersCompletes) {
+  // Pool workers that themselves fan out (as SolveBatchParallel workers
+  // running parallel statevector kernels do) must not deadlock: the static
+  // ParallelFor spins a transient pool and the kernels' shared-pool ForEach
+  // is caller-participating, so no worker ever blocks on work that cannot
+  // be stolen.
+  ThreadPool outer(4);
+  std::atomic<int> inner_iterations{0};
+  for (int t = 0; t < 8; ++t) {
+    outer.Submit([&inner_iterations] {
+      ThreadPool::Shared().ForEach(16, [&inner_iterations](int) {
+        inner_iterations.fetch_add(1);
+      });
+    });
+  }
+  outer.Wait();
+  EXPECT_EQ(inner_iterations.load(), 8 * 16);
+}
+
+TEST(ThreadPoolTest, BatchWorkersRunningParallelKernelsStayDeterministic) {
+  // End-to-end nesting: SolveBatchParallel fans QUBO instances across pool
+  // workers, and with parallel statevector kernels enabled process-wide
+  // every worker dispatches kernel chunks onto the shared pool. The batch
+  // must complete (no deadlock from the shared-pool seam — kernel ForEach
+  // calls are caller-participating) and stay bit-identical to the strictly
+  // sequential, serial-kernel run.
+  Rng gen(13);
+  std::vector<anneal::Qubo> qubos;
+  for (int b = 0; b < 6; ++b) {
+    anneal::Qubo qubo(4);
+    for (int i = 0; i < 4; ++i) qubo.AddLinear(i, gen.Uniform(-1, 1));
+    for (int i = 0; i < 4; ++i) {
+      for (int j = i + 1; j < 4; ++j) {
+        qubo.AddQuadratic(i, j, gen.Uniform(-1, 1));
+      }
+    }
+    qubos.push_back(std::move(qubo));
+  }
+  anneal::SolverOptions options;
+  options.num_reads = 3;
+  options.seed = 11;
+  options.layers = 1;
+  options.restarts = 1;
+
+  const sim::ExecutionConfig previous =
+      sim::Statevector::DefaultExecutionConfig();
+  sim::Statevector::SetDefaultExecutionConfig(
+      sim::ExecutionConfig{4, /*serial_cutoff=*/1});
+  auto nested = anneal::SolveBatchParallel("qaoa", qubos, options, 4);
+  sim::Statevector::SetDefaultExecutionConfig(
+      sim::ExecutionConfig{1, /*serial_cutoff=*/1});
+  auto sequential = anneal::SolveBatchParallel("qaoa", qubos, options, 1);
+  sim::Statevector::SetDefaultExecutionConfig(previous);
+
+  ASSERT_TRUE(nested.ok()) << nested.status();
+  ASSERT_TRUE(sequential.ok()) << sequential.status();
+  ASSERT_EQ(nested->size(), qubos.size());
+  for (size_t b = 0; b < qubos.size(); ++b) {
+    ASSERT_EQ((*nested)[b].size(), (*sequential)[b].size()) << "instance " << b;
+    for (size_t s = 0; s < (*nested)[b].size(); ++s) {
+      EXPECT_EQ((*nested)[b].samples()[s].energy,
+                (*sequential)[b].samples()[s].energy)
+          << "instance " << b << " sample " << s;
+      EXPECT_EQ((*nested)[b].samples()[s].assignment,
+                (*sequential)[b].samples()[s].assignment)
+          << "instance " << b << " sample " << s;
+    }
+  }
 }
 
 }  // namespace
