@@ -1,0 +1,28 @@
+// Dumps every exactly-registered QuboSolver name, one per line — the
+// ground truth scripts/check_docs.py uses to verify that registry-name
+// examples in the documentation actually resolve. With --check NAME it
+// instead exercises SolverRegistry::Create (including the "embedded:"
+// prefix resolver, whose name space is larger than RegisteredNames()),
+// exiting 0 iff the name builds.
+
+#include <cstdio>
+#include <cstring>
+
+#include "qdm/anneal/solver.h"
+
+int main(int argc, char** argv) {
+  auto& registry = qdm::anneal::SolverRegistry::Global();
+  if (argc == 3 && std::strcmp(argv[1], "--check") == 0) {
+    auto solver = registry.Create(argv[2]);
+    if (!solver.ok()) {
+      std::fprintf(stderr, "%s\n", solver.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("%s\n", (*solver)->name().c_str());
+    return 0;
+  }
+  for (const std::string& name : registry.RegisteredNames()) {
+    std::printf("%s\n", name.c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,128 @@
+#!/usr/bin/env python3
+"""CI documentation-rot check for qdm.
+
+Verifies three invariants so docs/ cannot silently drift from the code:
+
+  1. Every docs/*.md page is linked from README.md.
+  2. Every relative markdown link in README.md and docs/*.md resolves to an
+     existing file (anchors are stripped; http(s)/mailto links are skipped).
+  3. Every concrete "embedded:<base>:<topology>" registry-name example
+     anywhere in README.md or docs/*.md (prose, inline code, fenced blocks)
+     resolves in the SolverRegistry: first against the output of the
+     list_solvers dump binary (--solver-names FILE, one exactly-registered
+     name per line), then — for names the registry resolves dynamically via
+     its "embedded:" prefix — by invoking `list_solvers --check NAME` when
+     --list-solvers-bin is given. Scheme placeholders like
+     `embedded:<base>:<topology>` and globs like `embedded:*` are ignored —
+     only fully-concrete names are checked.
+
+Usage:
+  ./build/examples/list_solvers > /tmp/solver_names.txt
+  python3 scripts/check_docs.py --repo-root . \
+      --solver-names /tmp/solver_names.txt \
+      --list-solvers-bin ./build/examples/list_solvers
+"""
+
+import argparse
+import os
+import re
+import subprocess
+import sys
+
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+# Candidate embedded-name tokens, including placeholder/glob forms (which
+# are then filtered out by EMBEDDED_NAME_RE).
+TOKEN_RE = re.compile(r"embedded:[A-Za-z0-9_:*<>x-]+")
+# Fully-concrete embedded registry names: embedded:<base>:<family>:<dims>.
+EMBEDDED_NAME_RE = re.compile(
+    r"^embedded:[a-z0-9_]+:[a-z]+:[0-9]+(?:x[0-9]+)*$")
+
+
+def fail(errors):
+    for error in errors:
+        print(f"check_docs: {error}")
+    print(f"check_docs: FAILED with {len(errors)} error(s)")
+    return 1
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--repo-root", default=".",
+                        help="repository root containing README.md and docs/")
+    parser.add_argument("--solver-names", required=True,
+                        help="file with one registered solver name per line "
+                             "(from the list_solvers example binary)")
+    parser.add_argument("--list-solvers-bin", default=None,
+                        help="path to the list_solvers binary; when given, "
+                             "names missing from --solver-names are retried "
+                             "with '--check NAME' (registry prefix resolution)")
+    args = parser.parse_args()
+
+    root = os.path.abspath(args.repo_root)
+    readme = os.path.join(root, "README.md")
+    docs_dir = os.path.join(root, "docs")
+    if not os.path.isfile(readme):
+        return fail([f"missing {readme}"])
+    doc_pages = sorted(
+        os.path.join(docs_dir, f) for f in os.listdir(docs_dir)
+        if f.endswith(".md")) if os.path.isdir(docs_dir) else []
+    pages = [readme] + doc_pages
+
+    with open(args.solver_names) as f:
+        registered = {line.strip() for line in f if line.strip()}
+    if not registered:
+        return fail([f"no solver names found in {args.solver_names}"])
+
+    errors = []
+
+    # 1. Every docs page is reachable from the README.
+    readme_text = open(readme, encoding="utf-8").read()
+    readme_targets = set()
+    for target in LINK_RE.findall(readme_text):
+        readme_targets.add(os.path.normpath(
+            os.path.join(root, target.split("#", 1)[0])))
+    for page in doc_pages:
+        if page not in readme_targets:
+            errors.append(
+                f"{os.path.relpath(page, root)} is not linked from README.md")
+
+    # 2. Every relative link in README + docs resolves.
+    checked_names = 0
+    for page in pages:
+        text = open(page, encoding="utf-8").read()
+        base = os.path.dirname(page)
+        rel = os.path.relpath(page, root)
+        for target in LINK_RE.findall(text):
+            if target.startswith(("http://", "https://", "mailto:", "#")):
+                continue
+            path = os.path.normpath(
+                os.path.join(base, target.split("#", 1)[0]))
+            if not os.path.exists(path):
+                errors.append(f"{rel}: broken link -> {target}")
+
+        # 3. Concrete embedded:* registry-name examples resolve.
+        for token in set(TOKEN_RE.findall(text)):
+            if not EMBEDDED_NAME_RE.match(token):
+                continue  # Placeholder/glob forms are documentation, not names.
+            checked_names += 1
+            if token in registered:
+                continue
+            if args.list_solvers_bin is not None:
+                probe = subprocess.run(
+                    [args.list_solvers_bin, "--check", token],
+                    capture_output=True)
+                if probe.returncode == 0:
+                    continue
+            errors.append(
+                f"{rel}: registry-name example '{token}' does not resolve "
+                f"in the SolverRegistry (run list_solvers to see names)")
+
+    if errors:
+        return fail(errors)
+    print(f"check_docs: OK — {len(pages)} pages, "
+          f"{checked_names} registry-name examples verified")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

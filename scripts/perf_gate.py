@@ -1,14 +1,24 @@
 #!/usr/bin/env python3
 """CI performance gate for qdm benchmarks.
 
-Compares current items/s numbers against a checked-in baseline and fails
-(exit 1) when any metric regressed by more than --max-regression (default
-2x). Two input formats are understood and may be mixed freely:
+Compares current numbers against a checked-in baseline and fails (exit 1)
+on a regression. Two metric classes:
+
+  * "metrics" — throughput (items/s), gated as a RATIO: fails when current
+    < baseline / --max-regression (default 2x). Improvements always pass.
+  * "exact_metrics" — deterministic quantities (embedding chain lengths,
+    chain-break fractions), gated for EQUALITY (tolerance 1e-9): any drift,
+    in either direction, fails. These are pure functions of seeds and code,
+    so a change means behavior changed and the baseline must be
+    consciously refreshed.
+
+Two input formats are understood and may be mixed freely:
 
   * google-benchmark JSON (bench_micro --benchmark_format=json): entries of
     "benchmarks" that report "items_per_second" are gated under their "name".
-  * qdm sweep JSON ({"metrics": {name: items_per_second}}), written by
-    bench_mqo_speedup / bench_txn_scheduling with --sweep-only --json PATH.
+  * qdm sweep JSON ({"metrics": {...}, "exact_metrics": {...}}), written by
+    bench_mqo_speedup / bench_txn_scheduling / bench_hardware_constraints
+    with --sweep-only --json PATH (the exact_metrics section is optional).
 
 Override knob: set the environment variable QDM_PERF_GATE=off to turn the
 gate into a no-op (exit 0 with a notice) — for machines whose absolute
@@ -17,7 +27,8 @@ baseline after an intentional change, re-run with --update.
 
 Usage:
   python3 scripts/perf_gate.py --baseline bench/baselines/perf_baseline.json \
-      --current bench_micro.json mqo_batch.json txn_batch.json [--update]
+      --current bench_micro.json mqo_batch.json txn_batch.json hw_embed.json \
+      [--update]
 """
 
 import argparse
@@ -25,12 +36,15 @@ import json
 import os
 import sys
 
+EXACT_TOLERANCE = 1e-9
+
 
 def load_metrics(path):
-    """Returns {metric_name: items_per_second} from either input format."""
+    """Returns ({name: items/s}, {name: exact_value}) from either format."""
     with open(path) as f:
         data = json.load(f)
     metrics = {}
+    exact = {}
     if "benchmarks" in data:  # google-benchmark format.
         for entry in data["benchmarks"]:
             if "items_per_second" in entry:
@@ -38,15 +52,29 @@ def load_metrics(path):
     if "metrics" in data:  # qdm sweep format.
         for name, value in data["metrics"].items():
             metrics[name] = float(value)
-    if not metrics:
-        sys.exit(f"perf_gate: no items/s metrics found in {path}")
-    return metrics
+    if "exact_metrics" in data:
+        for name, value in data["exact_metrics"].items():
+            exact[name] = float(value)
+    if not metrics and not exact:
+        sys.exit(f"perf_gate: no metrics found in {path}")
+    return metrics, exact
+
+
+def load_all(paths):
+    metrics = {}
+    exact = {}
+    for path in paths:
+        m, e = load_metrics(path)
+        metrics.update(m)
+        exact.update(e)
+    return metrics, exact
 
 
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--baseline", required=True,
-                        help="checked-in baseline JSON ({'metrics': {...}})")
+                        help="checked-in baseline JSON ({'metrics': {...}, "
+                             "'exact_metrics': {...}})")
     parser.add_argument("--current", nargs="+", required=True,
                         help="one or more result JSON files to gate")
     parser.add_argument("--max-regression", type=float, default=2.0,
@@ -58,27 +86,26 @@ def main():
     # --update must work even where the gate itself is switched off (the
     # knob disables the comparison, not baseline maintenance).
     if args.update:
-        current = {}
-        for path in args.current:
-            current.update(load_metrics(path))
+        current, current_exact = load_all(args.current)
         with open(args.baseline, "w") as f:
-            json.dump({"schema": 1, "metrics": current}, f, indent=2,
+            json.dump({"schema": 2, "metrics": current,
+                       "exact_metrics": current_exact}, f, indent=2,
                       sort_keys=True)
             f.write("\n")
-        print(f"perf_gate: baseline updated with {len(current)} metrics "
-              f"-> {args.baseline}")
+        print(f"perf_gate: baseline updated with {len(current)} metrics + "
+              f"{len(current_exact)} exact metrics -> {args.baseline}")
         return 0
 
     if os.environ.get("QDM_PERF_GATE", "on").lower() in ("off", "0", "false"):
         print("perf_gate: QDM_PERF_GATE=off, skipping (override knob)")
         return 0
 
-    current = {}
-    for path in args.current:
-        current.update(load_metrics(path))
+    current, current_exact = load_all(args.current)
 
     with open(args.baseline) as f:
-        baseline = json.load(f)["metrics"]
+        baseline_doc = json.load(f)
+    baseline = baseline_doc["metrics"]
+    baseline_exact = baseline_doc.get("exact_metrics", {})
 
     failures = []
     for name in sorted(baseline):
@@ -96,20 +123,38 @@ def main():
                 f"{name}: {now:.1f} vs baseline {base:.1f} items/s "
                 f"({ratio:.2f}x < 1/{args.max_regression:g})")
 
-    extra = sorted(set(current) - set(baseline))
+    for name in sorted(baseline_exact):
+        base = float(baseline_exact[name])
+        if name not in current_exact:
+            failures.append(f"{name}: missing from current results (exact)")
+            continue
+        now = current_exact[name]
+        drifted = abs(now - base) > EXACT_TOLERANCE
+        status = "DRIFTED" if drifted else "OK"
+        # Full precision: the comparison tolerance is 1e-9, so rounded
+        # output could report two identical-looking numbers as drifted.
+        print(f"perf_gate: {name}: baseline {base:.17g} -> current "
+              f"{now:.17g} (exact) {status}")
+        if drifted:
+            failures.append(
+                f"{name}: exact metric drifted {base:.17g} -> {now:.17g} "
+                f"(deterministic value; a change means behavior changed)")
+
+    extra = sorted((set(current) - set(baseline))
+                   | (set(current_exact) - set(baseline_exact)))
     if extra:
         print(f"perf_gate: {len(extra)} metrics not in baseline (ignored): "
               + ", ".join(extra))
 
     if failures:
-        print("perf_gate: FAILED — >%gx regression (set QDM_PERF_GATE=off to "
-              "bypass, or rerun with --update after an intentional change):"
-              % args.max_regression)
+        print("perf_gate: FAILED (set QDM_PERF_GATE=off to bypass, or rerun "
+              "with --update after an intentional change):")
         for failure in failures:
             print(f"  {failure}")
         return 1
-    print(f"perf_gate: all {len(baseline)} metrics within "
-          f"{args.max_regression:g}x of baseline")
+    print(f"perf_gate: all {len(baseline)} ratio metrics within "
+          f"{args.max_regression:g}x and {len(baseline_exact)} exact metrics "
+          f"unchanged")
     return 0
 
 

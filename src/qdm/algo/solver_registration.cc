@@ -1,6 +1,11 @@
 // Bridges the gate-based samplers (Figure 2's second arm) into the
 // anneal::SolverRegistry so applications can dispatch "qaoa" / "vqe" /
 // "grover_min" by name, interchangeably with the annealing backends.
+// These names also compose with the embedded hardware-topology family
+// (anneal/embedded_solver.cc): "embedded:qaoa:chimera:1x1x4" resolves via
+// the registry's "embedded:" prefix and runs QAOA on the minor-embedded
+// physical problem — mind the 26-qubit state-vector cap when picking the
+// topology.
 
 #include "qdm/algo/solver_registration.h"
 

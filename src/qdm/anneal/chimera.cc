@@ -1,6 +1,9 @@
 #include "qdm/anneal/chimera.h"
 
+#include <algorithm>
+
 #include "qdm/common/check.h"
+#include "qdm/common/strings.h"
 
 namespace qdm {
 namespace anneal {
@@ -48,6 +51,28 @@ bool ChimeraGraph::HasEdge(int a, int b) const {
     return true;
   }
   return false;
+}
+
+std::string ChimeraGraph::name() const {
+  return StrFormat("chimera:%dx%dx%d", rows_, cols_, shore_);
+}
+
+int ChimeraGraph::CliqueCapacity() const {
+  return shore_ * std::min(rows_, cols_);
+}
+
+Result<std::vector<std::vector<int>>> ChimeraGraph::CliqueChains(
+    int num_logical) const {
+  if (num_logical > CliqueCapacity()) {
+    return Status::ResourceExhausted(StrFormat(
+        "clique embedding of K_%d needs shore*side >= %d but hardware offers "
+        "%d",
+        num_logical, num_logical, CliqueCapacity()));
+  }
+  return TriadCliqueChains(
+      num_logical, shore_,
+      [this](int r, int c, int k) { return VerticalQubit(r, c, k); },
+      [this](int r, int c, int k) { return HorizontalQubit(r, c, k); });
 }
 
 std::vector<std::pair<int, int>> ChimeraGraph::Edges() const {

@@ -2,9 +2,11 @@
 #define QDM_ANNEAL_CHIMERA_H_
 
 #include <cstdint>
-#include <set>
+#include <string>
 #include <utility>
 #include <vector>
+
+#include "qdm/anneal/topology.h"
 
 namespace qdm {
 namespace anneal {
@@ -14,26 +16,39 @@ namespace anneal {
 /// Vertical qubits couple to the same shore index in the cells above/below;
 /// horizontal qubits couple left/right. This is the working graph of the
 /// D-Wave 2X-class annealers used by Trummer & Koch [VLDB'16]; the paper's
-/// "physical level" mapping (Sec III-B) targets exactly this structure.
-class ChimeraGraph {
+/// "physical level" mapping (Sec III-B) originally targeted exactly this
+/// structure. It is one HardwareTopology implementation among several — its
+/// successors PegasusGraph and ZephyrGraph plug into the same embedding
+/// layer, and MakeTopology("chimera:MxNxL") builds one from a spec string.
+class ChimeraGraph : public HardwareTopology {
  public:
   ChimeraGraph(int rows, int cols, int shore);
 
   int rows() const { return rows_; }
   int cols() const { return cols_; }
   int shore() const { return shore_; }
-  int num_qubits() const { return rows_ * cols_ * 2 * shore_; }
 
   /// Linear id of the vertical qubit with shore offset `k` in cell (r, c).
   int VerticalQubit(int r, int c, int k) const;
   /// Linear id of the horizontal qubit with shore offset `k` in cell (r, c).
   int HorizontalQubit(int r, int c, int k) const;
 
-  /// True if physical qubits a and b are coupled in the hardware graph.
-  bool HasEdge(int a, int b) const;
+  std::string name() const override;
+  std::string family() const override { return "chimera"; }
+  int num_qubits() const override { return rows_ * cols_ * 2 * shore_; }
+  bool HasEdge(int a, int b) const override;
+  std::vector<std::pair<int, int>> Edges() const override;
 
-  /// All hardware couplers as (a, b) pairs with a < b.
-  std::vector<std::pair<int, int>> Edges() const;
+  /// TRIAD capacity: shore * min(rows, cols).
+  int CliqueCapacity() const override;
+
+  /// Deterministic clique chains after Choi's TRIAD construction: variable
+  /// i = shore*block + offset occupies the column of vertical qubits at
+  /// (.., block, offset) plus the row of horizontal qubits at (block, ..,
+  /// offset); the two runs meet (and are chained together) in the diagonal
+  /// cell, and every pair of chains crosses in some cell.
+  Result<std::vector<std::vector<int>>> CliqueChains(
+      int num_logical) const override;
 
  private:
   struct QubitCoord {

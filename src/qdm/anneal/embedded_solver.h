@@ -1,0 +1,69 @@
+#ifndef QDM_ANNEAL_EMBEDDED_SOLVER_H_
+#define QDM_ANNEAL_EMBEDDED_SOLVER_H_
+
+#include <memory>
+#include <string>
+
+#include "qdm/anneal/embedding.h"
+#include "qdm/anneal/solver.h"
+#include "qdm/anneal/topology.h"
+
+namespace qdm {
+namespace anneal {
+
+/// QuboSolver decorator implementing the paper's Sec III-B physical-level
+/// pipeline behind a registry name: clique-embed the logical QUBO into a
+/// hardware topology, dispatch the physical QUBO — compacted to the chain
+/// qubits, so the base backend never sweeps the topology's unused free
+/// spins — to the base backend, and unembed the samples with the
+/// configured chain-break policy.
+///
+/// Knobs read (beyond what the base backend reads): options.chain_strength
+/// (0.0 = auto-scale, see EmbedQubo) and options.chain_break_policy. All
+/// other options pass through to the base backend untouched, so
+/// "embedded:simulated_annealing:pegasus:6" honors num_sweeps exactly like
+/// "simulated_annealing". Determinism: the embedding is a pure function of
+/// (problem size, topology), so seed-derived batch solving through
+/// SolveBatchParallel stays bit-identical at any thread count.
+class EmbeddedSolver : public QuboSolver {
+ public:
+  /// `registry_name` is what name() reports — the full "embedded:..." string
+  /// the instance was created under, so it can be re-Created by name.
+  EmbeddedSolver(std::string registry_name, std::string base_name,
+                 std::shared_ptr<const HardwareTopology> topology);
+
+  Result<SampleSet> Solve(const Qubo& qubo,
+                          const SolverOptions& options) override;
+  std::string name() const override { return registry_name_; }
+
+  const HardwareTopology& topology() const { return *topology_; }
+  const std::string& base_name() const { return base_name_; }
+
+ private:
+  std::string registry_name_;
+  std::string base_name_;
+  std::shared_ptr<const HardwareTopology> topology_;
+};
+
+/// Builds an EmbeddedSolver from a registry name of the form
+///   "embedded:<base>:<topology-spec>"
+/// e.g. "embedded:simulated_annealing:pegasus:6",
+/// "embedded:tabu_search:chimera:4x4x4", "embedded:qaoa:chimera:1x1x4".
+/// The base must itself resolve in the SolverRegistry (NotFound otherwise;
+/// nesting "embedded:embedded:..." is rejected as InvalidArgument), and the
+/// topology spec must satisfy the MakeTopology grammar (InvalidArgument
+/// otherwise). This is the resolver behind the registry's "embedded:" prefix:
+/// SolverRegistry::Create accepts ANY well-formed embedded name, while
+/// RegisteredNames() lists only the eagerly-registered default set.
+Result<std::unique_ptr<QuboSolver>> MakeEmbeddedSolver(const std::string& name);
+
+/// Registers the default embedded backends (a chimera/pegasus/zephyr matrix
+/// over annealing-family bases, visible in RegisteredNames()) and the
+/// "embedded:" prefix resolver. Invoked by a static registrar; safe to call
+/// again (AlreadyExists is ignored).
+bool RegisterEmbeddedSolvers();
+
+}  // namespace anneal
+}  // namespace qdm
+
+#endif  // QDM_ANNEAL_EMBEDDED_SOLVER_H_

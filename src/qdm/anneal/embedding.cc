@@ -1,6 +1,7 @@
 #include "qdm/anneal/embedding.h"
 
 #include <algorithm>
+#include <cmath>
 
 #include "qdm/common/check.h"
 #include "qdm/common/strings.h"
@@ -22,29 +23,25 @@ int Embedding::MaxChainLength() const {
   return max_len;
 }
 
-Result<Embedding> CliqueEmbedding(int num_logical, const ChimeraGraph& graph) {
-  const int side = std::min(graph.rows(), graph.cols());
-  const int capacity = graph.shore() * side;
-  if (num_logical > capacity) {
-    return Status::ResourceExhausted(StrFormat(
-        "clique embedding of K_%d needs shore*side >= %d but hardware offers %d",
-        num_logical, num_logical, capacity));
+const char* ToString(ChainBreakPolicy policy) {
+  switch (policy) {
+    case ChainBreakPolicy::kMajorityVote:
+      return "majority_vote";
+    case ChainBreakPolicy::kMinimizeEnergy:
+      return "minimize_energy";
+    case ChainBreakPolicy::kDiscard:
+      return "discard";
   }
+  return "unknown";
+}
+
+Result<Embedding> CliqueEmbedding(int num_logical,
+                                  const HardwareTopology& topology) {
+  Result<std::vector<std::vector<int>>> chains =
+      topology.CliqueChains(num_logical);
+  if (!chains.ok()) return chains.status();
   Embedding embedding;
-  embedding.chains.resize(num_logical);
-  for (int i = 0; i < num_logical; ++i) {
-    const int block = i / graph.shore();
-    const int offset = i % graph.shore();
-    // Vertical run: column `block`, all rows up to the used square.
-    const int used = (num_logical + graph.shore() - 1) / graph.shore();
-    for (int r = 0; r < used; ++r) {
-      embedding.chains[i].push_back(graph.VerticalQubit(r, block, offset));
-    }
-    // Horizontal run: row `block`, all columns of the used square.
-    for (int c = 0; c < used; ++c) {
-      embedding.chains[i].push_back(graph.HorizontalQubit(block, c, offset));
-    }
-  }
+  embedding.chains = std::move(chains).value();
   return embedding;
 }
 
@@ -53,29 +50,47 @@ namespace {
 /// Finds one hardware coupler connecting chain_a to chain_b, or (-1,-1).
 std::pair<int, int> FindCoupler(const std::vector<int>& chain_a,
                                 const std::vector<int>& chain_b,
-                                const ChimeraGraph& graph) {
+                                const HardwareTopology& topology) {
   for (int a : chain_a) {
     for (int b : chain_b) {
-      if (graph.HasEdge(a, b)) return {a, b};
+      if (topology.HasEdge(a, b)) return {a, b};
     }
   }
   return {-1, -1};
 }
 
+/// The zero-means-default resolution for chain_strength: twice the largest
+/// |coefficient| of the logical model in Ising space, so no single logical
+/// term can profitably break a chain; 1.0 for an all-zero model.
+double AutoChainStrength(const IsingModel& logical_ising) {
+  double max_abs = 0.0;
+  for (double h : logical_ising.h) max_abs = std::max(max_abs, std::fabs(h));
+  for (const auto& [key, w] : logical_ising.j) {
+    max_abs = std::max(max_abs, std::fabs(w));
+  }
+  return max_abs > 0.0 ? 2.0 * max_abs : 1.0;
+}
+
 }  // namespace
 
 Result<EmbeddedQubo> EmbedQubo(const Qubo& logical, const Embedding& embedding,
-                               const ChimeraGraph& graph,
+                               const HardwareTopology& topology,
                                double chain_strength) {
   if (embedding.num_logical() < logical.num_variables()) {
     return Status::InvalidArgument("embedding has fewer chains than variables");
   }
-  QDM_CHECK_GT(chain_strength, 0.0);
+  if (chain_strength < 0.0) {
+    return Status::InvalidArgument(
+        StrFormat("chain_strength must be non-negative (0 = auto-scale), "
+                  "got %g",
+                  chain_strength));
+  }
 
   // Work in Ising space (the natural space for chain couplings), then convert.
   IsingModel logical_ising = QuboToIsing(logical);
+  if (chain_strength == 0.0) chain_strength = AutoChainStrength(logical_ising);
   IsingModel physical;
-  physical.num_spins = graph.num_qubits();
+  physical.num_spins = topology.num_qubits();
   physical.h.assign(physical.num_spins, 0.0);
   physical.offset = logical_ising.offset;
 
@@ -90,7 +105,7 @@ Result<EmbeddedQubo> EmbedQubo(const Qubo& logical, const Embedding& embedding,
   for (const auto& [key, w] : logical_ising.j) {
     if (w == 0.0) continue;
     auto [a, b] = FindCoupler(embedding.chains[key.first],
-                              embedding.chains[key.second], graph);
+                              embedding.chains[key.second], topology);
     if (a < 0) {
       return Status::FailedPrecondition(
           StrFormat("no hardware coupler between chains of x%d and x%d",
@@ -107,7 +122,7 @@ Result<EmbeddedQubo> EmbedQubo(const Qubo& logical, const Embedding& embedding,
     const auto& chain = embedding.chains[i];
     for (size_t a = 0; a < chain.size(); ++a) {
       for (size_t b = a + 1; b < chain.size(); ++b) {
-        if (graph.HasEdge(chain[a], chain[b])) {
+        if (topology.HasEdge(chain[a], chain[b])) {
           physical.j[{std::min(chain[a], chain[b]),
                       std::max(chain[a], chain[b])}] -= chain_strength;
           ++num_chain_edges;
@@ -122,9 +137,10 @@ Result<EmbeddedQubo> EmbedQubo(const Qubo& logical, const Embedding& embedding,
 }
 
 Sample Unembed(const Qubo& logical, const EmbeddedQubo& embedded,
-               const Sample& physical_sample) {
+               const Sample& physical_sample, ChainBreakPolicy policy) {
   const int n = logical.num_variables();
   Assignment x(n, 0);
+  std::vector<bool> chain_broken(n, false);
   int broken = 0;
   for (int i = 0; i < n; ++i) {
     const auto& chain = embedded.embedding.chains[i];
@@ -132,7 +148,17 @@ Sample Unembed(const Qubo& logical, const EmbeddedQubo& embedded,
     for (int q : chain) ones += physical_sample.assignment[q];
     const int len = static_cast<int>(chain.size());
     x[i] = (2 * ones > len) ? 1 : 0;
-    if (ones != 0 && ones != len) ++broken;
+    if (ones != 0 && ones != len) {
+      chain_broken[i] = true;
+      ++broken;
+    }
+  }
+  if (policy == ChainBreakPolicy::kMinimizeEnergy && broken > 0) {
+    // Deterministic single-pass repair: flip each broken chain's value when
+    // that lowers the logical energy given the current assignment.
+    for (int i = 0; i < n; ++i) {
+      if (chain_broken[i] && logical.FlipDelta(x, i) < 0.0) x[i] = 1 - x[i];
+    }
   }
   Sample out;
   out.assignment = std::move(x);
@@ -141,19 +167,39 @@ Sample Unembed(const Qubo& logical, const EmbeddedQubo& embedded,
   return out;
 }
 
-SampleSet EmbeddedSampler::SampleQubo(const Qubo& qubo, int num_reads, Rng* rng) {
-  Result<Embedding> embedding = CliqueEmbedding(qubo.num_variables(), graph_);
+SampleSet UnembedAll(const Qubo& logical, const EmbeddedQubo& embedded,
+                     const SampleSet& physical, ChainBreakPolicy policy) {
+  SampleSet logical_set;
+  for (const Sample& s : physical.samples()) {
+    Sample unembedded = Unembed(logical, embedded, s, policy);
+    if (policy == ChainBreakPolicy::kDiscard &&
+        unembedded.chain_break_fraction > 0.0) {
+      continue;
+    }
+    logical_set.Add(std::move(unembedded));
+  }
+  if (policy == ChainBreakPolicy::kDiscard && logical_set.empty() &&
+      !physical.empty()) {
+    // All samples broken: fall back to majority vote rather than returning
+    // an empty set (see ChainBreakPolicy::kDiscard).
+    for (const Sample& s : physical.samples()) {
+      logical_set.Add(Unembed(logical, embedded, s,
+                              ChainBreakPolicy::kMajorityVote));
+    }
+  }
+  return logical_set;
+}
+
+SampleSet EmbeddedSampler::SampleQubo(const Qubo& qubo, int num_reads,
+                                      Rng* rng) {
+  Result<Embedding> embedding = CliqueEmbedding(qubo.num_variables(), *topology_);
   QDM_CHECK(embedding.ok()) << embedding.status().ToString();
   Result<EmbeddedQubo> embedded =
-      EmbedQubo(qubo, *embedding, graph_, chain_strength_);
+      EmbedQubo(qubo, *embedding, *topology_, chain_strength_);
   QDM_CHECK(embedded.ok()) << embedded.status().ToString();
 
   SampleSet physical = base_->SampleQubo(embedded->physical, num_reads, rng);
-  SampleSet logical;
-  for (const anneal::Sample& s : physical.samples()) {
-    logical.Add(Unembed(qubo, *embedded, s));
-  }
-  return logical;
+  return UnembedAll(qubo, *embedded, physical, policy_);
 }
 
 }  // namespace anneal

@@ -1,11 +1,12 @@
 #ifndef QDM_ANNEAL_EMBEDDING_H_
 #define QDM_ANNEAL_EMBEDDING_H_
 
+#include <memory>
 #include <string>
 #include <vector>
 
-#include "qdm/anneal/chimera.h"
 #include "qdm/anneal/sampler.h"
+#include "qdm/anneal/topology.h"
 #include "qdm/common/status.h"
 
 namespace qdm {
@@ -21,16 +22,38 @@ struct Embedding {
   int MaxChainLength() const;
 };
 
-/// Deterministic clique (K_n) embedding into Chimera, after Choi's TRIAD
-/// construction: variable i = shore*block + offset occupies the full column
-/// of vertical qubits at (.., block, offset) plus the full row of horizontal
-/// qubits at (block, .., offset); the two paths meet (and are chained
-/// together) in the diagonal cell. Supports any logical interaction graph
-/// because every pair of chains is adjacent. Requires n <= shore * min(M, N).
-Result<Embedding> CliqueEmbedding(int num_logical, const ChimeraGraph& graph);
+/// How a broken chain (physical qubits of one logical variable disagreeing)
+/// is collapsed back to a logical value when unembedding. Follows the
+/// zero-means-default convention of SolverOptions: the zero enumerator
+/// kMajorityVote is the default policy everywhere.
+enum class ChainBreakPolicy {
+  /// Chain value = majority of its physical qubits (ties -> 0).
+  kMajorityVote = 0,
+  /// Majority vote, then greedily re-assign each broken chain (in ascending
+  /// variable order) to whichever value lowers the LOGICAL energy given the
+  /// other variables — a deterministic single-pass repair.
+  kMinimizeEnergy = 1,
+  /// Drop samples containing any broken chain. To preserve the "num_reads
+  /// requested, some samples returned" contract, when EVERY sample of a set
+  /// is broken the policy falls back to majority vote on all of them rather
+  /// than returning an empty set.
+  kDiscard = 2,
+};
+
+/// Stable lower_snake_case label ("majority_vote", ...) for tables/logs.
+const char* ToString(ChainBreakPolicy policy);
+
+/// Deterministic clique (K_n) embedding into `topology`, built from the
+/// topology's native CliqueChains construction (Choi's TRIAD on Chimera and
+/// on the Chimera subgraphs of Pegasus/Zephyr). Supports any logical
+/// interaction graph because every pair of chains is adjacent.
+/// ResourceExhausted when num_logical exceeds topology.CliqueCapacity().
+Result<Embedding> CliqueEmbedding(int num_logical,
+                                  const HardwareTopology& topology);
 
 /// Result of pushing a logical QUBO through an embedding: a physical QUBO
-/// whose quadratic terms all lie on hardware couplers.
+/// whose quadratic terms all lie on hardware couplers. `chain_strength` is
+/// the RESOLVED ferromagnetic coupling actually applied (never 0).
 struct EmbeddedQubo {
   Qubo physical;
   Embedding embedding;
@@ -42,35 +65,63 @@ struct EmbeddedQubo {
 /// connecting the two chains; chain integrity is enforced by a ferromagnetic
 /// coupling of weight `chain_strength` on every intra-chain edge (in Ising
 /// space; the returned model is the equivalent QUBO).
-/// Fails if some logical coupling has no hardware edge between its chains.
+///
+/// chain_strength follows the zero-means-default convention of solver.h:
+/// 0.0 auto-scales to twice the largest |coefficient| of the logical model
+/// in Ising space (falling back to 1.0 for an all-zero model) — strong
+/// enough that no single logical term can profitably tear a chain, weak
+/// enough not to freeze the annealing landscape. A negative value is
+/// InvalidArgument (never an abort). Fails with FailedPrecondition if some
+/// logical coupling has no hardware edge between its chains.
 Result<EmbeddedQubo> EmbedQubo(const Qubo& logical, const Embedding& embedding,
-                               const ChimeraGraph& graph,
+                               const HardwareTopology& topology,
                                double chain_strength);
 
-/// Collapses a physical sample back to logical variables by majority vote
-/// within each chain; reports the fraction of broken (non-unanimous) chains
-/// in Sample::chain_break_fraction. The returned energy is the LOGICAL
-/// energy of the unembedded assignment.
+/// Collapses a physical sample back to logical variables, resolving broken
+/// chains per `policy` (kDiscard is a sample-set-level policy and behaves
+/// like kMajorityVote here; use UnembedAll for it). The fraction of broken
+/// (non-unanimous) chains is reported in Sample::chain_break_fraction —
+/// computed BEFORE any repair, so it measures the physical sample, not the
+/// patched one. The returned energy is the LOGICAL energy of the unembedded
+/// assignment.
 Sample Unembed(const Qubo& logical, const EmbeddedQubo& embedded,
-               const Sample& physical_sample);
+               const Sample& physical_sample,
+               ChainBreakPolicy policy = ChainBreakPolicy::kMajorityVote);
+
+/// Unembeds every sample of a physical SampleSet, applying `policy`
+/// (including kDiscard's drop-broken-samples semantics and its documented
+/// all-broken fallback).
+SampleSet UnembedAll(const Qubo& logical, const EmbeddedQubo& embedded,
+                     const SampleSet& physical,
+                     ChainBreakPolicy policy = ChainBreakPolicy::kMajorityVote);
 
 /// Sampler decorator implementing the full logical->physical->logical loop of
-/// Sec III-B: embed, sample on the (simulated) hardware topology, unembed.
+/// Sec III-B against any HardwareTopology: clique-embed, sample on the
+/// (simulated) hardware topology, unembed with the configured chain-break
+/// policy. Prefer the registry's "embedded:<base>:<topology>" backends (see
+/// embedded_solver.h) unless you already hold a Sampler.
 class EmbeddedSampler : public Sampler {
  public:
   /// Does not take ownership of `base`; `base` must outlive this.
-  EmbeddedSampler(Sampler* base, ChimeraGraph graph, double chain_strength)
-      : base_(base), graph_(graph), chain_strength_(chain_strength) {}
+  /// `chain_strength` 0.0 auto-scales per EmbedQubo.
+  EmbeddedSampler(Sampler* base, std::shared_ptr<const HardwareTopology> topology,
+                  double chain_strength,
+                  ChainBreakPolicy policy = ChainBreakPolicy::kMajorityVote)
+      : base_(base),
+        topology_(std::move(topology)),
+        chain_strength_(chain_strength),
+        policy_(policy) {}
 
   SampleSet SampleQubo(const Qubo& qubo, int num_reads, Rng* rng) override;
   std::string name() const override {
-    return "embedded(" + base_->name() + ")";
+    return "embedded(" + base_->name() + " on " + topology_->name() + ")";
   }
 
  private:
   Sampler* base_;
-  ChimeraGraph graph_;
+  std::shared_ptr<const HardwareTopology> topology_;
   double chain_strength_;
+  ChainBreakPolicy policy_;
 };
 
 }  // namespace anneal

@@ -1,0 +1,70 @@
+#ifndef QDM_ANNEAL_PEGASUS_H_
+#define QDM_ANNEAL_PEGASUS_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "qdm/anneal/topology.h"
+
+namespace qdm {
+namespace anneal {
+
+/// Pegasus hardware topology P(m), modeling the working graph of D-Wave
+/// Advantage-class annealers (Boothby, Bunyk, Raymond & Roy, "Next-
+/// Generation Topology of D-Wave Quantum Processors", arXiv:2003.00133).
+///
+/// Qubits are length-12 segments on a grid. Coordinates (u, w, k, z):
+///   u in {0, 1}   orientation (0 = vertical segment, 1 = horizontal),
+///   w in [0, m)   perpendicular offset (column of tracks for vertical),
+///   k in [0, 12)  track index within the offset,
+///   z in [0, m-1) position along the segment's direction.
+/// A vertical qubit occupies column x = 12w + k, rows [12z + s_V(k),
+/// 12z + s_V(k) + 12); a horizontal qubit occupies row y = 12w + k, columns
+/// [12z + s_H(k), 12z + s_H(k) + 12), where the shift s of a track depends
+/// only on its group of four (k / 4) — the group structure that makes
+/// Pegasus contain three disjoint Chimera C(m-1, m-1, 4) subgraphs.
+///
+/// Couplers (max degree 15 = 12 internal + 2 external + 1 odd):
+///   internal  segments of opposite orientation that geometrically cross,
+///   external  collinear segments at consecutive z (head-to-tail),
+///   odd       parallel segments in paired tracks (2j, 2j+1) at the same
+///             (w, z).
+///
+/// num_qubits = 24 m (m-1); m >= 2.
+class PegasusGraph : public HardwareTopology {
+ public:
+  explicit PegasusGraph(int m);
+
+  int m() const { return m_; }
+
+  /// Linear id of qubit (u, w, k, z); bounds-checked.
+  int Qubit(int u, int w, int k, int z) const;
+
+  std::string name() const override;
+  std::string family() const override { return "pegasus"; }
+  int num_qubits() const override { return 24 * m_ * (m_ - 1); }
+  bool HasEdge(int a, int b) const override;
+  std::vector<std::pair<int, int>> Edges() const override;
+
+  /// TRIAD capacity of the embedded Chimera C(m-1, m-1, 4) copy: 4 (m-1).
+  int CliqueCapacity() const override { return 4 * (m_ - 1); }
+  Result<std::vector<std::vector<int>>> CliqueChains(
+      int num_logical) const override;
+
+ private:
+  struct Coord {
+    int u, w, k, z;
+  };
+  Coord Decode(int id) const;
+  /// Per-track shift s_V / s_H (depends on the track group k / 4).
+  static int VerticalShift(int k);
+  static int HorizontalShift(int k);
+
+  int m_;
+};
+
+}  // namespace anneal
+}  // namespace qdm
+
+#endif  // QDM_ANNEAL_PEGASUS_H_

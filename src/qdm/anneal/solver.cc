@@ -286,9 +286,28 @@ Status SolverRegistry::Register(const std::string& name, Factory factory) {
   return Status::Ok();
 }
 
-bool SolverRegistry::Contains(const std::string& name) const {
+Status SolverRegistry::RegisterPrefix(const std::string& prefix,
+                                      DynamicFactory factory) {
+  QDM_CHECK(factory != nullptr) << "null dynamic factory for " << prefix;
+  QDM_CHECK(!prefix.empty());
   std::lock_guard<std::mutex> lock(mutex_);
-  return factories_.count(name) > 0;
+  if (prefix_factories_.count(prefix) > 0) {
+    return Status::AlreadyExists(
+        StrFormat("solver prefix '%s' is already registered", prefix.c_str()));
+  }
+  prefix_factories_[prefix] = std::move(factory);
+  return Status::Ok();
+}
+
+bool SolverRegistry::Contains(const std::string& name) const {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (factories_.count(name) > 0) return true;
+  }
+  // Fall back to the prefix resolvers: a name they accept is creatable and
+  // therefore "contained". Create() copies the resolver and invokes it
+  // outside the lock, so resolvers may re-enter the registry.
+  return Create(name).ok();
 }
 
 std::vector<std::string> SolverRegistry::RegisteredNames() const {
@@ -302,17 +321,29 @@ std::vector<std::string> SolverRegistry::RegisteredNames() const {
 Result<std::unique_ptr<QuboSolver>> SolverRegistry::Create(
     const std::string& name) const {
   Factory factory;
+  DynamicFactory dynamic;
   {
     std::lock_guard<std::mutex> lock(mutex_);
     auto it = factories_.find(name);
-    if (it != factories_.end()) factory = it->second;
+    if (it != factories_.end()) {
+      factory = it->second;
+    } else {
+      // Longest matching prefix wins; invoked outside the lock below so the
+      // resolver may re-enter the registry (e.g. to validate a base name).
+      size_t best_len = 0;
+      for (const auto& [prefix, resolver] : prefix_factories_) {
+        if (prefix.size() >= best_len && StartsWith(name, prefix)) {
+          best_len = prefix.size();
+          dynamic = resolver;
+        }
+      }
+    }
   }
-  if (factory == nullptr) {
-    return Status::NotFound(StrFormat(
-        "no QUBO solver registered under '%s' (registered: %s)", name.c_str(),
-        StrJoin(RegisteredNames(), ", ").c_str()));
-  }
-  return factory();
+  if (factory != nullptr) return factory();
+  if (dynamic != nullptr) return dynamic(name);
+  return Status::NotFound(StrFormat(
+      "no QUBO solver registered under '%s' (registered: %s)", name.c_str(),
+      StrJoin(RegisteredNames(), ", ").c_str()));
 }
 
 Result<SampleSet> SolveWith(const std::string& solver_name, const Qubo& qubo,

@@ -10,6 +10,7 @@
 #include <string>
 #include <vector>
 
+#include "qdm/anneal/embedding.h"
 #include "qdm/anneal/qubo.h"
 #include "qdm/anneal/sampler.h"
 #include "qdm/common/rng.h"
@@ -43,6 +44,11 @@ namespace anneal {
 ///                    value moves the guard but is always clamped to the
 ///                    26-qubit diagonal cap. Oversized problems are rejected
 ///                    with InvalidArgument.
+///   chain_strength   0.0 = auto-scale from the logical model (twice the
+///                    largest |Ising coefficient|); negative is
+///                    InvalidArgument. Read only by embedded:* backends.
+///   chain_break_policy  zero enumerator kMajorityVote is the default;
+///                    read only by embedded:* backends.
 ///
 /// Randomness: when `rng` is non-null it is used directly (and `seed` is
 /// ignored); otherwise the solver seeds a local Rng from `seed` (seed 0
@@ -71,6 +77,10 @@ struct SolverOptions {
   int layers = 0;
   int restarts = 0;
   int max_qubits = 0;
+
+  // -- Embedded hardware-topology backends (embedded:<base>:<topology>) ------
+  double chain_strength = 0.0;
+  ChainBreakPolicy chain_break_policy = ChainBreakPolicy::kMajorityVote;
 };
 
 /// Strategy interface of the hybrid quantum/classical architecture (Figure 2
@@ -112,25 +122,45 @@ class QuboSolver {
 
 /// Process-global name -> solver factory table. The four anneal-layer
 /// backends (simulated_annealing, parallel_tempering, tabu_search, exact)
-/// register themselves on first access; higher layers add more (the
-/// gate-based bridges in qdm/algo register qaoa, vqe, and grover_min via a
-/// static registrar, which is why the build links qdm as an object library).
+/// register themselves on first access; higher layers add more via static
+/// registrars, which is why the build links qdm as an object library (the
+/// gate-based bridges in qdm/algo register qaoa, vqe, and grover_min; the
+/// embedded hardware-topology backends in qdm/anneal/embedded_solver.cc
+/// register a default "embedded:<base>:<topology>" set plus the "embedded:"
+/// prefix resolver).
 class SolverRegistry {
  public:
   using Factory = std::function<std::unique_ptr<QuboSolver>()>;
+  /// Builds a solver from a full name that was not exactly registered; used
+  /// for parameterized families. Returns an error to reject the name (e.g.
+  /// a malformed topology spec) — the error is surfaced verbatim by Create.
+  using DynamicFactory =
+      std::function<Result<std::unique_ptr<QuboSolver>>(const std::string&)>;
 
   static SolverRegistry& Global();
 
   /// Fails with AlreadyExists when `name` is taken.
   Status Register(const std::string& name, Factory factory);
 
+  /// Registers a resolver for every name starting with `prefix` that has no
+  /// exact registration ("embedded:" is the in-tree user). Exact entries
+  /// always win; when several prefixes match, the longest wins. Fails with
+  /// AlreadyExists when `prefix` is taken.
+  Status RegisterPrefix(const std::string& prefix, DynamicFactory factory);
+
+  /// True when `name` is exactly registered or a prefix resolver accepts it
+  /// (the resolver is invoked, so this constructs and discards a backend —
+  /// construction is trivial for every in-tree solver).
   bool Contains(const std::string& name) const;
 
-  /// Registered names, sorted.
+  /// Exactly-registered names, sorted. Prefix-resolved families are
+  /// represented by their eagerly-registered defaults only: the name space
+  /// of e.g. "embedded:*" is unbounded and cannot be enumerated.
   std::vector<std::string> RegisteredNames() const;
 
-  /// Instantiates the backend registered under `name`; NotFound (listing the
-  /// registered names) for unknown solvers.
+  /// Instantiates the backend registered under `name`, falling back to the
+  /// longest matching prefix resolver; NotFound (listing the registered
+  /// names) when nothing matches.
   Result<std::unique_ptr<QuboSolver>> Create(const std::string& name) const;
 
  private:
@@ -138,6 +168,7 @@ class SolverRegistry {
 
   mutable std::mutex mutex_;
   std::map<std::string, Factory> factories_;
+  std::map<std::string, DynamicFactory> prefix_factories_;
 };
 
 /// One-shot convenience: Create(solver_name) then Solve.

@@ -1,0 +1,70 @@
+#ifndef QDM_ANNEAL_ZEPHYR_H_
+#define QDM_ANNEAL_ZEPHYR_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "qdm/anneal/topology.h"
+
+namespace qdm {
+namespace anneal {
+
+/// Zephyr hardware topology Z(m, t), modeling the working graph of D-Wave
+/// Advantage2-class annealers (Boothby, Raymond & King, "Zephyr Topology of
+/// D-Wave Quantum Processors", 2021). The production annealer uses t = 4
+/// (degree 20); t is kept a parameter for scaled-down test instances.
+///
+/// Qubits are length-2 segments on a (2m+1) x (2m+1) grid of unit cells.
+/// Coordinates (u, w, k, j, z):
+///   u in {0, 1}    orientation (0 = vertical segment, 1 = horizontal),
+///   w in [0, 2m]   perpendicular offset (the column for vertical qubits),
+///   k in [0, t)    track index within the line,
+///   j in {0, 1}    half-offset of the segment along its line,
+///   z in [0, m)    position along the line.
+/// A vertical qubit occupies column w, rows {2z + j, 2z + j + 1}; a
+/// horizontal qubit occupies row w, columns {2z + j, 2z + j + 1} — the
+/// j in {0, 1} shift makes consecutive segments of opposite j overlap by one
+/// cell, which is what raises the degree over Chimera.
+///
+/// Couplers (max degree 4t + 4; 20 for t = 4):
+///   internal  (4t)  opposite orientations whose segments cross,
+///   external  (2)   collinear same-j segments at consecutive z,
+///   odd       (2)   collinear opposite-j segments whose spans overlap.
+///
+/// num_qubits = 4 t m (2m + 1); m >= 1, t >= 1.
+class ZephyrGraph : public HardwareTopology {
+ public:
+  ZephyrGraph(int m, int t);
+
+  int m() const { return m_; }
+  int t() const { return t_; }
+
+  /// Linear id of qubit (u, w, k, j, z); bounds-checked.
+  int Qubit(int u, int w, int k, int j, int z) const;
+
+  std::string name() const override;
+  std::string family() const override { return "zephyr"; }
+  int num_qubits() const override { return 4 * t_ * m_ * (2 * m_ + 1); }
+  bool HasEdge(int a, int b) const override;
+  std::vector<std::pair<int, int>> Edges() const override;
+
+  /// TRIAD capacity of the embedded Chimera C(2m, 2m, t) copy: 2 t m.
+  int CliqueCapacity() const override { return 2 * t_ * m_; }
+  Result<std::vector<std::vector<int>>> CliqueChains(
+      int num_logical) const override;
+
+ private:
+  struct Coord {
+    int u, w, k, j, z;
+  };
+  Coord Decode(int id) const;
+
+  int m_;
+  int t_;
+};
+
+}  // namespace anneal
+}  // namespace qdm
+
+#endif  // QDM_ANNEAL_ZEPHYR_H_

@@ -67,9 +67,12 @@ MqoSolution DecodeMqoSample(const MqoProblem& problem,
                             const anneal::Assignment& assignment);
 
 /// MQO end-to-end through the QuboSolver registry: encode, dispatch to the
-/// backend registered under `solver_name`, strict-decode the best sample.
-/// Thin wrapper over SolveMqoBatch with a one-element batch (sequential, so
-/// options.rng is honored).
+/// backend registered under `solver_name` (any registry name works,
+/// including the hardware-embedded "embedded:<base>:<topology>" family —
+/// e.g. "embedded:simulated_annealing:pegasus:6" runs the Sec III-B
+/// physical level), strict-decode the best sample. Thin wrapper over
+/// SolveMqoBatch with a one-element batch (sequential, so options.rng is
+/// honored).
 Result<MqoSolution> SolveMqo(const MqoProblem& problem,
                              const std::string& solver_name,
                              const anneal::SolverOptions& options,

@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include <memory>
 #include <set>
 
 #include "qdm/anneal/chimera.h"
@@ -181,7 +182,8 @@ TEST(EmbeddedSamplerTest, EndToEndMatchesLogicalOptimum) {
   const double optimum = ExactSolver::Solve(logical).energy;
 
   SimulatedAnnealer base{AnnealSchedule{.num_sweeps = 400}};
-  EmbeddedSampler sampler(&base, ChimeraGraph(2, 2, 4), /*chain_strength=*/3.0);
+  EmbeddedSampler sampler(&base, std::make_shared<ChimeraGraph>(2, 2, 4),
+                          /*chain_strength=*/3.0);
   SampleSet set = sampler.SampleQubo(logical, 20, &rng);
   EXPECT_NEAR(set.best().energy, optimum, 1e-9);
 }
@@ -199,7 +201,8 @@ TEST(EmbeddedSamplerTest, WeakChainsBreak) {
 
   Rng rng(21);
   SimulatedAnnealer base{AnnealSchedule{.num_sweeps = 100}};
-  EmbeddedSampler weak(&base, ChimeraGraph(2, 2, 4), /*chain_strength=*/0.05);
+  EmbeddedSampler weak(&base, std::make_shared<ChimeraGraph>(2, 2, 4),
+                       /*chain_strength=*/0.05);
   SampleSet set = weak.SampleQubo(logical, 30, &rng);
   double total_breaks = 0;
   for (const auto& s : set.samples()) total_breaks += s.chain_break_fraction;

@@ -36,8 +36,9 @@ TEST(IntegrationTest, WorkloadToChimeraToExecutedPlan) {
   ASSERT_TRUE(base_solver.ok()) << base_solver.status();
   std::unique_ptr<anneal::Sampler> base =
       anneal::WrapAsSampler(std::move(*base_solver), {.num_sweeps = 1500});
-  anneal::EmbeddedSampler sampler(base.get(), anneal::ChimeraGraph(4, 4, 4),
-                                  /*chain_strength=*/60.0);
+  anneal::EmbeddedSampler sampler(
+      base.get(), std::make_shared<anneal::ChimeraGraph>(4, 4, 4),
+      /*chain_strength=*/60.0);
   anneal::SampleSet samples = sampler.SampleQubo(encoding.qubo(), 30, &rng);
   std::vector<int> order = encoding.DecodeWithRepair(samples.best().assignment);
 
