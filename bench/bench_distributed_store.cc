@@ -33,7 +33,8 @@ int main() {
                            "quantum migrate", "EPR pairs", "payload fidelity"});
   for (int hops : {1, 2, 3}) {
     qdm::qnet::DistributedQuantumStore store(
-        LineNetwork(hops + 1, 40), qdm::qnet::DistributedQuantumStore::Options{},
+        LineNetwork(hops + 1, 40),
+        qdm::qnet::DistributedQuantumStore::Options{},
         &rng);
     QDM_CHECK(store.PutClassical(0, "ledger", "txn,amount\n901,12.5\n").ok());
     QDM_CHECK(store.PutQuantum(0, "qcredential",
@@ -46,7 +47,8 @@ int main() {
                   qdm::StrFormat("%.0f", store.stats().qkd_secure_bits),
                   migrate.ok() ? "ok" : migrate.ToString(),
                   qdm::StrFormat("%d", store.stats().epr_pairs_consumed),
-                  qdm::StrFormat("%.4f", *store.QuantumFidelity("qcredential"))});
+                  qdm::StrFormat("%.4f",
+                                 *store.QuantumFidelity("qcredential"))});
   }
   std::printf("E13: classical replication vs quantum migration\n%s\n",
               table.ToString().c_str());
@@ -58,8 +60,11 @@ int main() {
     for (int t = 0; t < 40; ++t) {
       qdm::qnet::DistributedQuantumStore::Options options;
       options.memory_t_s = 0.002;
-      qdm::qnet::DistributedQuantumStore store(LineNetwork(3, 60), options, &rng);
-      QDM_CHECK(store.PutQuantum(0, "q", qdm::qnet::Qubit::FromAngles(1.1, 0.2)).ok());
+      qdm::qnet::DistributedQuantumStore store(LineNetwork(3, 60), options,
+                                               &rng);
+      QDM_CHECK(
+          store.PutQuantum(0, "q", qdm::qnet::Qubit::FromAngles(1.1, 0.2))
+              .ok());
       for (int m = 0; m < migrations; ++m) {
         QDM_CHECK(store.MigrateQuantum("q", (m % 2) ? 0 : 2).ok());
       }
@@ -68,12 +73,14 @@ int main() {
     decay.AddRow({qdm::StrFormat("%d", migrations),
                   qdm::StrFormat("%.4f", total / 40)});
   }
-  std::printf("Quantum payload fidelity vs migration count (harsh memories):\n%s\n",
+  std::printf(
+      "Quantum payload fidelity vs migration count (harsh memories):\n%s\n",
               decay.ToString().c_str());
 
   // Fault injection: link failure forces rerouting or typed failure.
   qdm::qnet::QuantumNetwork ring = LineNetwork(4, 40);
-  QDM_CHECK(ring.AddLink(0, 3, qdm::qnet::FiberLinkConfig{.length_km = 200}).ok());
+  QDM_CHECK(
+      ring.AddLink(0, 3, qdm::qnet::FiberLinkConfig{.length_km = 200}).ok());
   qdm::qnet::DistributedQuantumStore store(
       ring, qdm::qnet::DistributedQuantumStore::Options{}, &rng);
   QDM_CHECK(store.PutQuantum(0, "q", qdm::qnet::Qubit::Zero()).ok());
@@ -84,6 +91,7 @@ int main() {
               rerouted.ok() ? "succeeded" : rerouted.ToString().c_str());
   std::printf("\nShape check: replication leaves copies everywhere; migration\n"
               "never does (no-cloning); fidelity decays with every migration\n"
-              "over imperfect entanglement; failures reroute when a path exists.\n");
+              "over imperfect entanglement; failures reroute when a path "
+              "exists.\n");
   return 0;
 }

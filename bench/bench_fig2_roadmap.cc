@@ -19,7 +19,8 @@ int main() {
 
   // The data management problem: a 3-query x 3-plan MQO instance (9 binary
   // variables after reformulation).
-  qdm::qopt::MqoProblem problem = qdm::qopt::GenerateMqoProblem(3, 3, 0.35, &rng);
+  qdm::qopt::MqoProblem problem =
+      qdm::qopt::GenerateMqoProblem(3, 3, 0.35, &rng);
   qdm::anneal::Qubo qubo = qdm::qopt::MqoToQubo(problem);
   const double optimum = qdm::qopt::ExhaustiveMqo(problem).cost;
   std::printf("E2: Figure 2 roadmap -- one MQO instance, every arm\n");
@@ -55,7 +56,8 @@ int main() {
   std::printf("%s\n", table.ToString().c_str());
 
   // QPE demonstration (the remaining algorithm in Figure 2's gate-based box).
-  qdm::TablePrinter qpe_table({"phase", "precision qubits", "estimate", "error"});
+  qdm::TablePrinter qpe_table(
+      {"phase", "precision qubits", "estimate", "error"});
   for (double phase : {0.1875, 0.3141, 0.7071}) {
     qdm::algo::QpeResult r = qdm::algo::EstimatePhase(phase, 8, &rng);
     double err = std::abs(r.estimate - phase);

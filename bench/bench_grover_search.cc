@@ -51,7 +51,8 @@ int main() {
     table.AddRow({qdm::StrFormat("%llu", static_cast<unsigned long long>(size)),
                   qdm::StrFormat("%.1f", classical_avg),
                   qdm::StrFormat("%.0f", grover_avg),
-                  qdm::StrFormat("%.1f", M_PI / 4 * std::sqrt(static_cast<double>(size))),
+                  qdm::StrFormat(
+                      "%.1f", M_PI / 4 * std::sqrt(static_cast<double>(size))),
                   qdm::StrFormat("%.1f", bbht_total / kTrials),
                   qdm::StrFormat("%.4f", success / kTrials),
                   qdm::StrFormat("%.1fx", classical_avg / grover_avg)});

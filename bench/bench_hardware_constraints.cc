@@ -66,7 +66,8 @@ int main(int argc, char** argv) {
 
   // A fixed MQO workload: one 8-variable instance for the ablations plus a
   // batch of distinct instances for the per-topology sweep.
-  qdm::qopt::MqoProblem problem = qdm::qopt::GenerateMqoProblem(4, 2, 0.4, &rng);
+  qdm::qopt::MqoProblem problem =
+      qdm::qopt::GenerateMqoProblem(4, 2, 0.4, &rng);
   qdm::anneal::Qubo qubo = qdm::qopt::MqoToQubo(problem);
   auto& registry = qdm::anneal::SolverRegistry::Global();
 
@@ -94,7 +95,8 @@ int main(int argc, char** argv) {
                                 embedding->TotalPhysicalQubits()) / n)});
       }
     }
-    std::printf("E14.1: minor-embedding qubit overhead (clique embedding)\n%s\n",
+    std::printf(
+        "E14.1: minor-embedding qubit overhead (clique embedding)\n%s\n",
                 overhead.ToString().c_str());
 
     auto ground = qdm::anneal::SolveWith("exact", qubo, {.num_reads = 1});
@@ -121,7 +123,8 @@ int main(int argc, char** argv) {
                      qdm::StrFormat("%.2f", set.SuccessRate(optimum)),
                      qdm::StrFormat("%.3f", breaks / set.size())});
     }
-    std::printf("E14.2: chain-strength sweep (8 logical vars on C(2,2,4))\n%s\n",
+    std::printf(
+        "E14.2: chain-strength sweep (8 logical vars on C(2,2,4))\n%s\n",
                 chains.ToString().c_str());
 
     // (3) Penalty-weight sweep on the logical QUBO.
@@ -204,7 +207,8 @@ int main(int argc, char** argv) {
                        qdm::StrFormat("%.3f", breaks / set->size()),
                        qdm::StrFormat("%zu/40", set->size())});
     }
-    std::printf("E14.5: chain-break policy comparison (chain strength 0.3)\n%s\n",
+    std::printf(
+        "E14.5: chain-break policy comparison (chain strength 0.3)\n%s\n",
                 policies.ToString().c_str());
 
     std::printf(
@@ -244,7 +248,8 @@ int main(int argc, char** argv) {
 
     std::vector<qdm::anneal::SampleSet> reference =
         qdm_bench::RunThreadSweep<std::vector<qdm::anneal::SampleSet>>(
-            qdm::StrFormat("E14.6: embedded batch sweep — %s", backend).c_str(),
+            qdm::StrFormat("E14.6: embedded batch sweep — %s", backend)
+                .c_str(),
             static_cast<int>(batch.size()), "items/s",
             [&](int threads) {
               auto result = qdm::anneal::SolveBatchParallel(backend, batch,

@@ -36,7 +36,8 @@ int main() {
 
         // (c) encoding gap: proxy optimum evaluated in true C_out.
         std::vector<int> proxy_best = qdm::qopt::OptimalOrderUnderProxy(g);
-        log_proxy += std::log(qdm::db::PermutationCost(proxy_best, g) / optimal);
+        log_proxy +=
+            std::log(qdm::db::PermutationCost(proxy_best, g) / optimal);
 
         // (a) annealer on the QUBO with repair decoding; effort scales with n.
         // Both QUBO arms dispatch through the QuboSolver registry (Figure 2's
@@ -59,11 +60,14 @@ int main() {
         tabu_options.rng = &rng;
         auto tabu = qdm::qopt::SolveJoinOrder(g, "tabu_search", tabu_options);
         QDM_CHECK(tabu.ok()) << tabu.status();
-        log_tabu += std::log(qdm::db::PermutationCost(tabu->order, g) / optimal);
+        log_tabu +=
+            std::log(qdm::db::PermutationCost(tabu->order, g) / optimal);
 
         // (d, e) classical baselines.
-        log_greedy += std::log(qdm::db::GreedyOperatorOrdering(g).cost / optimal);
-        log_random += std::log(qdm::db::RandomLeftDeepPlan(g, &rng).cost / optimal);
+        log_greedy +=
+            std::log(qdm::db::GreedyOperatorOrdering(g).cost / optimal);
+        log_random +=
+            std::log(qdm::db::RandomLeftDeepPlan(g, &rng).cost / optimal);
 
         // Bushy gain (left-deep optimum / bushy optimum >= 1).
         log_bushy += std::log(optimal / qdm::db::OptimalBushyPlan(g).cost);
@@ -74,13 +78,15 @@ int main() {
                     qdm::StrFormat("%.2f", geomean(log_tabu)),
                     qdm::StrFormat("%.2f", geomean(log_proxy)),
                     qdm::StrFormat("%.2f", geomean(log_greedy)),
-                    qdm::StrFormat("%.1f", log_random / kSeeds / std::log(10.0)),
+                    qdm::StrFormat("%.1f",
+                                   log_random / kSeeds / std::log(10.0)),
                     qdm::StrFormat("%.2f", geomean(log_bushy)),
                     qdm::StrFormat("%d/%d", feasible, kSeeds)});
     }
   }
   std::printf("E5: join ordering quality by topology (geometric-mean C_out "
-              "ratios; 1.0 = left-deep optimal)\n%s\n", table.ToString().c_str());
+              "ratios; 1.0 = left-deep optimal)\n%s\n",
+              table.ToString().c_str());
   std::printf(
       "Shape check: the QUBO pipeline (anneal/tabu) stays within a small\n"
       "factor of optimal and is astronomically better than random orders\n"

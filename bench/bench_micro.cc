@@ -134,7 +134,12 @@ void BM_DiagonalPhaseThreads(benchmark::State& state) {
   }
   state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(dim));
 }
-BENCHMARK(BM_DiagonalPhaseThreads)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->UseRealTime();
+BENCHMARK(BM_DiagonalPhaseThreads)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->UseRealTime();
 
 void BM_CnotLadder(benchmark::State& state) {
   const int n = static_cast<int>(state.range(0));
@@ -158,7 +163,8 @@ void BM_AnnealSweeps(benchmark::State& state) {
       qubo.AddQuadratic(i, j, rng.Uniform(-1, 1));
     }
   }
-  auto annealer = qdm::anneal::SolverRegistry::Global().Create("simulated_annealing");
+  auto annealer =
+      qdm::anneal::SolverRegistry::Global().Create("simulated_annealing");
   QDM_CHECK(annealer.ok()) << annealer.status();
   qdm::anneal::SolverOptions options;
   options.num_reads = 1;

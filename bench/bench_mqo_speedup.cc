@@ -32,7 +32,8 @@ double MillisSince(std::chrono::steady_clock::time_point start) {
 // group) through qopt::SolveMqoBatch at increasing pool widths. items/s is
 // the CI perf-gate metric; the "identical" column asserts the batch
 // determinism guarantee (seed + index derivation) across thread counts.
-void RunBatchSweep(const qdm_bench::SweepFlags& flags) {
+void RunBatchSweep(const qdm_bench::SweepFlags& flags,
+                   qdm_bench::MetricsJson* metrics) {
   const int kInstances = 32;
   qdm::Rng gen_rng(7);
   std::vector<qdm::qopt::MqoProblem> problems;
@@ -66,15 +67,119 @@ void RunBatchSweep(const qdm_bench::SweepFlags& flags) {
         }
         return true;
       },
-      "mqo_batch_items_per_s", flags);
+      "mqo_batch_items_per_s", flags, metrics);
+}
+
+// Portfolio sweep: the same MQO batch through a "race:*" backend vs each
+// member alone. Reports items/s per arm (the racing overhead is the metric —
+// a race pays for every member it runs) and best-energy win rates of the
+// portfolio against each solo member, recorded as exact metrics: they are
+// pure functions of the seeds, so any drift is a behavior change the perf
+// gate should catch.
+void RunPortfolioSweep(const qdm_bench::SweepFlags& flags,
+                       qdm_bench::MetricsJson* metrics) {
+  const int kInstances = 32;
+  qdm::Rng gen_rng(11);
+  std::vector<qdm::anneal::Qubo> qubos;
+  qubos.reserve(kInstances);
+  for (int i = 0; i < kInstances; ++i) {
+    qubos.push_back(qdm::qopt::MqoToQubo(
+        qdm::qopt::GenerateMqoProblem(8, 3, 0.3, &gen_rng)));
+  }
+  qdm::anneal::SolverOptions options;
+  options.num_reads = 10;
+  options.num_sweeps = 600;
+  options.seed = 11;
+
+  struct Arm {
+    const char* solver;
+    const char* label;   // Short key used in metric names.
+  };
+  const Arm kArms[] = {
+      {"simulated_annealing", "sa"},
+      {"tabu_search", "tabu"},
+      {"race:simulated_annealing+tabu_search", "race"},
+  };
+  using Batch = std::vector<qdm::anneal::SampleSet>;
+  std::vector<Batch> reference;
+  for (const Arm& arm : kArms) {
+    reference.push_back(qdm_bench::RunThreadSweep<Batch>(
+        qdm::StrFormat("Portfolio sweep arm '%s': 32 MQO QUBOs through\n"
+                       "SolveBatchParallel (bit-identical at every thread "
+                       "count).",
+                       arm.solver)
+            .c_str(),
+        kInstances, "items/s",
+        [&qubos, &options, &arm](int threads) {
+          auto sets = qdm::anneal::SolveBatchParallel(arm.solver, qubos,
+                                                      options, threads);
+          QDM_CHECK(sets.ok()) << arm.solver << ": " << sets.status();
+          return *sets;
+        },
+        [](const Batch& a, const Batch& b) {
+          if (a.size() != b.size()) return false;
+          for (size_t i = 0; i < a.size(); ++i) {
+            if (a[i].size() != b[i].size()) return false;
+            for (size_t s = 0; s < a[i].size(); ++s) {
+              const qdm::anneal::Sample& sa = a[i].samples()[s];
+              const qdm::anneal::Sample& sb = b[i].samples()[s];
+              if (sa.assignment != sb.assignment || sa.energy != sb.energy) {
+                return false;
+              }
+            }
+          }
+          return true;
+        },
+        qdm::StrFormat("mqo_port_%s_items_per_s", arm.label).c_str(), flags,
+        metrics));
+  }
+
+  // Best-energy scoreboard: the race vs each solo member, per instance.
+  const Batch& race = reference.back();
+  qdm::TablePrinter table(
+      {"vs member", "race wins", "ties", "losses", "win rate"});
+  for (size_t m = 0; m + 1 < reference.size(); ++m) {
+    int wins = 0, ties = 0, losses = 0;
+    for (int i = 0; i < kInstances; ++i) {
+      const double race_best = race[i].best().energy;
+      const double solo_best = reference[m][i].best().energy;
+      if (race_best < solo_best) {
+        ++wins;
+      } else if (race_best == solo_best) {
+        ++ties;
+      } else {
+        ++losses;
+      }
+    }
+    // The race runs member 0 (simulated_annealing) with the very seed the
+    // solo arm uses, so against that member it can tie but never lose —
+    // assert the hedge's no-regression contract at bench runtime.
+    if (m == 0) {
+      QDM_CHECK(losses == 0) << "race lost to its own member seed";
+    }
+    table.AddRow({kArms[m].solver, qdm::StrFormat("%d", wins),
+                  qdm::StrFormat("%d", ties), qdm::StrFormat("%d", losses),
+                  qdm::StrFormat("%.3f", 1.0 * wins / kInstances)});
+    metrics->AddExact(
+        qdm::StrFormat("mqo_port_race_win_rate_vs_%s", kArms[m].label),
+        1.0 * wins / kInstances);
+  }
+  std::printf(
+      "Portfolio scoreboard: best QUBO energy of "
+      "race:simulated_annealing+tabu_search\nagainst each member alone "
+      "(win = strictly lower energy on that instance).\n%s\n",
+      table.ToString().c_str());
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
   const qdm_bench::SweepFlags flags = qdm_bench::ParseSweepFlags(argc, argv);
+  qdm_bench::MetricsJson metrics;
   if (flags.sweep_only) {
-    RunBatchSweep(flags);
+    RunBatchSweep(flags, &metrics);
+    RunPortfolioSweep(flags, &metrics);
+    if (flags.json_path != nullptr) metrics.WriteTo(flags.json_path);
     return 0;
   }
   qdm::Rng rng(2024);
@@ -130,9 +235,9 @@ int main(int argc, char** argv) {
                     qdm::StrFormat("%d", problem.num_variables()),
                     qdm::StrFormat("%.2f", exhaustive_ms),
                     qdm::StrFormat("%.1f", anneal_ms),
-                    qdm::StrFormat("%.4f",
-                                   annealed.feasible ? annealed.cost / exact.cost
-                                                     : -1.0),
+                    qdm::StrFormat("%.4f", annealed.feasible
+                                               ? annealed.cost / exact.cost
+                                               : -1.0),
                     qdm::StrFormat("%.1f", tabu_ms),
                     qdm::StrFormat("%.4f", tabu_solution.feasible
                                                ? tabu_solution.cost / exact.cost
@@ -149,6 +254,8 @@ int main(int argc, char** argv) {
       "The tabu arm holds quality ~1.0 throughout; the pure annealing arm\n"
       "drifts on densely-shared instances -- the \"limited subset of MQO\n"
       "problems\" caveat of [20], reproduced.\n\n");
-  RunBatchSweep(flags);
+  RunBatchSweep(flags, &metrics);
+  RunPortfolioSweep(flags, &metrics);
+  if (flags.json_path != nullptr) metrics.WriteTo(flags.json_path);
   return 0;
 }

@@ -25,7 +25,9 @@ int main() {
   plus.H(0);
   qdm::sim::Statevector psi = qdm::sim::RunCircuit(plus);
   int ones = 0;
-  for (int s = 0; s < 100000; ++s) ones += static_cast<int>(psi.SampleBasisState(&rng));
+  for (int s = 0; s < 100000; ++s) {
+    ones += static_cast<int>(psi.SampleBasisState(&rng));
+  }
   std::printf("Example II.1: P(measure 1 | |+>) = %.4f (paper: 0.5)\n",
               ones / 100000.0);
 
@@ -34,7 +36,8 @@ int main() {
   bell_circuit.H(0).CX(0, 1);
   int correlated = 0;
   for (int s = 0; s < 100000; ++s) {
-    const uint64_t z = qdm::sim::RunCircuit(bell_circuit).SampleBasisState(&rng);
+    const uint64_t z =
+        qdm::sim::RunCircuit(bell_circuit).SampleBasisState(&rng);
     if (z == 0 || z == 3) ++correlated;
   }
   std::printf("Example IV.1: P(outcomes equal | Bell) = %.4f (paper: 1.0)\n\n",
@@ -48,30 +51,40 @@ int main() {
     auto chsh = qdm::nonlocal::ChshGame();
     auto strategy = qdm::nonlocal::OptimalChshStrategy();
     table.AddRow({"CHSH", "0.75",
-                  qdm::StrFormat("%.4f", qdm::nonlocal::ClassicalValueTwoPlayer(chsh)),
+                  qdm::StrFormat("%.4f",
+                                 qdm::nonlocal::ClassicalValueTwoPlayer(chsh)),
                   "~0.85",
-                  qdm::StrFormat("%.6f", qdm::nonlocal::QuantumValueTwoPlayer(chsh, strategy)),
-                  qdm::StrFormat("%.4f", qdm::nonlocal::PlayTwoPlayerGame(chsh, strategy,
-                                                                          200000, &rng))});
+                  qdm::StrFormat(
+                      "%.6f",
+                      qdm::nonlocal::QuantumValueTwoPlayer(chsh, strategy)),
+                  qdm::StrFormat("%.4f",
+                                 qdm::nonlocal::PlayTwoPlayerGame(
+                                     chsh, strategy, 200000, &rng))});
   }
   {
     auto ghz = qdm::nonlocal::GhzGame();
     auto strategy = qdm::nonlocal::OptimalGhzStrategy();
     table.AddRow({"GHZ", "0.75",
-                  qdm::StrFormat("%.4f", qdm::nonlocal::ClassicalValueThreePlayer(ghz)),
+                  qdm::StrFormat(
+                      "%.4f", qdm::nonlocal::ClassicalValueThreePlayer(ghz)),
                   "1.0",
-                  qdm::StrFormat("%.6f", qdm::nonlocal::QuantumValueThreePlayer(ghz, strategy)),
-                  qdm::StrFormat("%.4f", qdm::nonlocal::PlayThreePlayerGame(ghz, strategy,
-                                                                            200000, &rng))});
+                  qdm::StrFormat(
+                      "%.6f",
+                      qdm::nonlocal::QuantumValueThreePlayer(ghz, strategy)),
+                  qdm::StrFormat("%.4f",
+                                 qdm::nonlocal::PlayThreePlayerGame(
+                                     ghz, strategy, 200000, &rng))});
   }
   {
     // Extension: Mermin-Peres magic square (pseudo-telepathy; the natural
     // next entry in Sec IV-A's progression after CHSH and GHZ).
     table.AddRow({"magic square", "8/9",
-                  qdm::StrFormat("%.4f", qdm::nonlocal::ClassicalValueMagicSquare()),
+                  qdm::StrFormat("%.4f",
+                                 qdm::nonlocal::ClassicalValueMagicSquare()),
                   "1.0", "1.000000",
                   qdm::StrFormat("%.4f",
-                                 qdm::nonlocal::PlayMagicSquareQuantum(20000, &rng))});
+                                 qdm::nonlocal::PlayMagicSquareQuantum(
+                                     20000, &rng))});
   }
   std::printf("E9/E10: nonlocal game values\n%s\n", table.ToString().c_str());
   std::printf("cos^2(pi/8) = %.6f\n", std::pow(std::cos(M_PI / 8), 2));

@@ -54,7 +54,8 @@ int main() {
   const std::string relation = "k,v\n1,alpha\n2,beta\n3,gamma\n";
   QDM_CHECK(store.PutClassical(a, "dim_table", relation).ok());
   qdm::Status status = store.ReplicateClassical("dim_table", b);
-  std::printf("QKD-secured replication of %zu payload bytes across 160 km: %s\n",
+  std::printf(
+      "QKD-secured replication of %zu payload bytes across 160 km: %s\n",
               relation.size(), status.ToString().c_str());
   std::printf("sessions: %d, secure bits: %.0f (need %zu)\n",
               store.stats().qkd_sessions, store.stats().qkd_secure_bits,
@@ -72,7 +73,8 @@ int main() {
     e91_table.AddRow({qdm::StrFormat("%.2f", fidelity), eve ? "yes" : "no",
                       qdm::StrFormat("%.3f", r.s_value),
                       eve ? "1.414" : qdm::StrFormat(
-                                          "%.3f", qdm::qnet::ExpectedE91S(fidelity)),
+                                          "%.3f",
+                                          qdm::qnet::ExpectedE91S(fidelity)),
                       qdm::StrFormat("%.3f", r.qber),
                       r.aborted ? "ABORT (S <= 2)" : "key ok"});
   };

@@ -39,7 +39,8 @@ int main() {
                   qdm::StrFormat("%.3f", one.mean_fidelity),
                   qdm::StrFormat("%.3f", three.mean_fidelity)});
   }
-  std::printf("E11: entanglement distribution rate and fidelity vs distance\n%s\n",
+  std::printf(
+      "E11: entanglement distribution rate and fidelity vs distance\n%s\n",
               table.ToString().c_str());
 
   // Purification ablation at 100 km, 1 repeater.
@@ -53,12 +54,14 @@ int main() {
   qdm::TablePrinter purify_table({"variant", "rate Hz", "mean fidelity"});
   purify_table.AddRow({"plain swap", qdm::StrFormat("%.3g", plain.rate_hz),
                        qdm::StrFormat("%.4f", plain.mean_fidelity)});
-  purify_table.AddRow({"BBPSSW purified", qdm::StrFormat("%.3g", purified.rate_hz),
+  purify_table.AddRow({"BBPSSW purified",
+                       qdm::StrFormat("%.3g", purified.rate_hz),
                        qdm::StrFormat("%.4f", purified.mean_fidelity)});
   std::printf("Purification trade-off at 100 km (F0 = 0.9):\n%s\n",
               purify_table.ToString().c_str());
   std::printf("Shape check: direct rate falls ~10x per 50 km (0.2 dB/km);\n"
               "repeaters overtake direct generation as distance grows but\n"
-              "deliver lower fidelity; purification buys fidelity with rate.\n");
+              "deliver lower fidelity; purification buys fidelity with "
+              "rate.\n");
   return 0;
 }

@@ -96,7 +96,8 @@ int main() {
     auto order = enc_small.DecodeWithRepair(s.best().assignment);
     table.AddRow({"[23-25]", "join ordering (left-deep)", "MILP/BILP->QUBO",
                   "QAOA", "gate-based", "9",
-                  Verdict(true, qdm::qopt::LogCostProxy(order, small), opt_small)});
+                  Verdict(true, qdm::qopt::LogCostProxy(order, small),
+                          opt_small)});
 
     qdm::db::JoinGraph larger = qdm::db::JoinGraph::RandomChain(4, &graph_rng);
     qdm::qopt::JoinOrderQubo enc_larger(larger);
@@ -126,7 +127,8 @@ int main() {
     table.AddRow({"[27]", "join ordering", "learning (MDP)", "VQC",
                   "gate-based", "4",
                   Verdict(true,
-                          qdm::qopt::LogCostProxy(agent.BestVisitedOrder(), larger),
+                          qdm::qopt::LogCostProxy(agent.BestVisitedOrder(),
+                                                  larger),
                           opt_larger)});
   }
   // ---- [28] schema matching: QAOA on 3x3 (9 qubits), annealing on 5x5. -----
@@ -188,6 +190,7 @@ int main() {
   std::printf("Every surveyed pipeline runs end-to-end in this toolkit; the\n"
               "result column reports optimality against the classical ground\n"
               "truth. Gate-based rows use hardware-scale instances (<= ~10\n"
-              "qubits), matching the device scales the surveyed papers used.\n");
+              "qubits), matching the device scales the surveyed papers "
+              "used.\n");
   return 0;
 }

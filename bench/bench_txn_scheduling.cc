@@ -98,7 +98,8 @@ int main(int argc, char** argv) {
       anneal_options.num_sweeps = 1500;
       anneal_options.num_reads = 30;
       anneal_options.rng = &rng;
-      auto annealed = qdm::qopt::SolveTxnSchedule(problem, "simulated_annealing",
+      auto annealed = qdm::qopt::SolveTxnSchedule(problem,
+                                                  "simulated_annealing",
                                                   anneal_options);
       QDM_CHECK(annealed.ok()) << annealed.status();
       if (annealed->feasible) {
@@ -128,10 +129,12 @@ int main(int argc, char** argv) {
                   qdm::StrFormat("%.1f", naive_wait / kSeeds),
                   qdm::StrFormat("%.1f", greedy_wait / kSeeds),
                   qdm::StrFormat("%.1f", anneal_wait / kSeeds),
-                  grover_ran ? qdm::StrFormat("%.1f", grover_wait / kSeeds) : "-",
+                  grover_ran ? qdm::StrFormat("%.1f", grover_wait / kSeeds)
+                             : "-",
                   qdm::StrFormat("%.1f", greedy_span / kSeeds),
                   qdm::StrFormat("%.1f", anneal_span / kSeeds),
-                  grover_ran ? qdm::StrFormat("%.1f", grover_span / kSeeds) : "-"});
+                  grover_ran ? qdm::StrFormat("%.1f", grover_span / kSeeds)
+                             : "-"});
   }
   std::printf("E7: 2PL blocking (total wait steps) by scheduler\n%s\n",
               table.ToString().c_str());

@@ -17,7 +17,8 @@ int main() {
 
   qdm::TablePrinter curve({"query", "episodes 1-30", "episodes 61-90",
                            "final 30", "best visited", "proxy optimum"});
-  qdm::TablePrinter plans({"query", "vqc best/opt", "greedy/opt", "random/opt"});
+  qdm::TablePrinter plans(
+      {"query", "vqc best/opt", "greedy/opt", "random/opt"});
 
   for (int q = 0; q < 3; ++q) {
     qdm::db::JoinGraph g = qdm::db::MakeRandomQuery(

@@ -76,7 +76,8 @@ int main() {
       graph, qdm::qml::VqcJoinOrderAgent::Options{.episodes = 120}, &rng);
   agent.Train();
   QDM_CHECK(report_plan("VQC RL",
-                        qdm::db::LeftDeepFromPermutation(agent.BestVisitedOrder())) ==
+                        qdm::db::LeftDeepFromPermutation(
+                            agent.BestVisitedOrder())) ==
             reference);
 
   std::printf("%s\nAll optimizers produced the same relation. "

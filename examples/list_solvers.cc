@@ -1,9 +1,11 @@
 // Dumps every exactly-registered QuboSolver name, one per line — the
 // ground truth scripts/check_docs.py uses to verify that registry-name
 // examples in the documentation actually resolve. With --check NAME it
-// instead exercises SolverRegistry::Create (including the "embedded:"
-// prefix resolver, whose name space is larger than RegisteredNames()),
-// exiting 0 iff the name builds.
+// instead exercises SolverRegistry::Create — including the prefix
+// resolvers ("embedded:<base>:<topology>" minor embeddings and
+// "race:<b1>+<b2>" portfolios), whose name spaces are larger than
+// RegisteredNames() — exiting 0 iff the name builds, so the docs checker
+// can validate dynamically-resolved example names too.
 
 #include <cstdio>
 #include <cstring>

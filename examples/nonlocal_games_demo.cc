@@ -20,8 +20,11 @@ int main() {
     qdm::nonlocal::TwoPlayerGame chsh = qdm::nonlocal::ChshGame();
     auto strategy = qdm::nonlocal::OptimalChshStrategy();
     table.AddRow({"CHSH",
-                  qdm::StrFormat("%.4f", qdm::nonlocal::ClassicalValueTwoPlayer(chsh)),
-                  qdm::StrFormat("%.4f", qdm::nonlocal::QuantumValueTwoPlayer(chsh, strategy)),
+                  qdm::StrFormat("%.4f",
+                                 qdm::nonlocal::ClassicalValueTwoPlayer(chsh)),
+                  qdm::StrFormat(
+                      "%.4f",
+                      qdm::nonlocal::QuantumValueTwoPlayer(chsh, strategy)),
                   qdm::StrFormat("%.4f", qdm::nonlocal::PlayTwoPlayerGame(
                                              chsh, strategy, 100000, &rng))});
   }
@@ -29,8 +32,11 @@ int main() {
     qdm::nonlocal::ThreePlayerGame ghz = qdm::nonlocal::GhzGame();
     auto strategy = qdm::nonlocal::OptimalGhzStrategy();
     table.AddRow({"GHZ",
-                  qdm::StrFormat("%.4f", qdm::nonlocal::ClassicalValueThreePlayer(ghz)),
-                  qdm::StrFormat("%.4f", qdm::nonlocal::QuantumValueThreePlayer(ghz, strategy)),
+                  qdm::StrFormat(
+                      "%.4f", qdm::nonlocal::ClassicalValueThreePlayer(ghz)),
+                  qdm::StrFormat(
+                      "%.4f",
+                      qdm::nonlocal::QuantumValueThreePlayer(ghz, strategy)),
                   qdm::StrFormat("%.4f", qdm::nonlocal::PlayThreePlayerGame(
                                              ghz, strategy, 100000, &rng))});
   }

@@ -24,7 +24,9 @@ int main() {
   qdm::sim::Statevector psi = qdm::sim::RunCircuit(plus);
   int ones = 0;
   const int kShots = 10000;
-  for (int s = 0; s < kShots; ++s) ones += static_cast<int>(psi.SampleBasisState(&rng));
+  for (int s = 0; s < kShots; ++s) {
+    ones += static_cast<int>(psi.SampleBasisState(&rng));
+  }
   std::printf("|+> measured 1 in %.1f%% of %d shots (expect 50%%)\n\n",
               100.0 * ones / kShots, kShots);
 
@@ -42,7 +44,9 @@ int main() {
   // -- 3. Grover database search (paper Sec III-A) ---------------------------
   std::printf("== 3. Grover search over 1024 records ==\n");
   std::vector<int64_t> records(1024);
-  for (size_t i = 0; i < records.size(); ++i) records[i] = static_cast<int64_t>(i * 7);
+  for (size_t i = 0; i < records.size(); ++i) {
+    records[i] = static_cast<int64_t>(i * 7);
+  }
   auto db = qdm::qdb::QuantumDatabase::Create(records);
   qdm::qdb::SearchStats quantum = db->GroverSearchEqual(7 * 600, &rng);
   qdm::qdb::SearchStats classical =
@@ -89,7 +93,19 @@ int main() {
   auto embedded = qdm::qopt::SolveMqo(
       mqo, "embedded:simulated_annealing:pegasus:6", embedded_options);
   QDM_CHECK(embedded.ok()) << embedded.status();
-  std::printf("embedded selection cost: %.2f (exhaustive optimum %.2f)\n",
+  std::printf("embedded selection cost: %.2f (exhaustive optimum %.2f)\n\n",
               embedded->cost, optimal.cost);
+
+  // -- 6. The same problem on a racing solver portfolio ----------------------
+  // "race:<b1>+<b2>" backends run every member on the SAME QUBO and keep the
+  // winning (lowest-energy) sample set — the hybrid-system hedge for solver
+  // unreliability (docs/solvers.md). Same QuboPipeline entry point, one more
+  // registry name.
+  std::printf("== 6. MQO again, racing a solver portfolio ==\n");
+  auto raced = qdm::qopt::SolveMqo(
+      mqo, "race:simulated_annealing+tabu_search", options);
+  QDM_CHECK(raced.ok()) << raced.status();
+  std::printf("portfolio selection cost: %.2f (exhaustive optimum %.2f)\n",
+              raced->cost, optimal.cost);
   return 0;
 }

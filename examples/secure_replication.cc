@@ -29,7 +29,9 @@ int main() {
 
   // -- Classical data: replicate under a BB84-derived one-time pad. ----------
   std::printf("== Classical replication over QKD ==\n");
-  QDM_CHECK(store.PutClassical(amsterdam, "orders", "order_id,total\n17,99.5\n").ok());
+  QDM_CHECK(
+      store.PutClassical(amsterdam, "orders", "order_id,total\n17,99.5\n")
+          .ok());
   qdm::Status replicated = store.ReplicateClassical("orders", san_francisco);
   std::printf("replicate 'orders' -> san_francisco: %s\n",
               replicated.ToString().c_str());
@@ -55,7 +57,8 @@ int main() {
   QDM_CHECK(store.MigrateQuantum("qtoken", san_francisco).ok());
   std::printf("migrated 'qtoken' to node %d via teleportation "
               "(EPR pairs consumed: %d)\n",
-              *store.QuantumLocation("qtoken"), store.stats().epr_pairs_consumed);
+              *store.QuantumLocation("qtoken"),
+              store.stats().epr_pairs_consumed);
   std::printf("payload fidelity after migration: %.4f\n",
               *store.QuantumFidelity("qtoken"));
 

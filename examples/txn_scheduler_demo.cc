@@ -18,7 +18,8 @@ int main() {
   // 8 transactions locking 2 of 8 objects each.
   qdm::qopt::TxnScheduleProblem problem =
       qdm::qopt::GenerateTxnSchedule(/*num_txns=*/8, /*num_objects=*/8,
-                                     /*locks_per_txn=*/2, /*num_slots=*/0, &rng);
+                                     /*locks_per_txn=*/2, /*num_slots=*/0,
+                                     &rng);
   std::printf("conflicting transaction pairs: %zu, slots available: %d\n\n",
               problem.ConflictPairs().size(), problem.num_slots);
 
@@ -51,7 +52,8 @@ int main() {
   evaluate("all-in-one-slot", naive, &table);
 
   // Classical: greedy conflict-graph coloring.
-  evaluate("greedy coloring", qdm::qopt::GreedyColoringSchedule(problem), &table);
+  evaluate("greedy coloring", qdm::qopt::GreedyColoringSchedule(problem),
+           &table);
 
   // Quantum annealer path: QUBO + simulated annealing, dispatched through
   // the QuboSolver registry.

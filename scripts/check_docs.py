@@ -6,14 +6,15 @@ Verifies three invariants so docs/ cannot silently drift from the code:
   1. Every docs/*.md page is linked from README.md.
   2. Every relative markdown link in README.md and docs/*.md resolves to an
      existing file (anchors are stripped; http(s)/mailto links are skipped).
-  3. Every concrete "embedded:<base>:<topology>" registry-name example
-     anywhere in README.md or docs/*.md (prose, inline code, fenced blocks)
-     resolves in the SolverRegistry: first against the output of the
-     list_solvers dump binary (--solver-names FILE, one exactly-registered
-     name per line), then — for names the registry resolves dynamically via
-     its "embedded:" prefix — by invoking `list_solvers --check NAME` when
-     --list-solvers-bin is given. Scheme placeholders like
-     `embedded:<base>:<topology>` and globs like `embedded:*` are ignored —
+  3. Every concrete "embedded:<base>:<topology>" or "race:<b1>+<b2>+..."
+     registry-name example anywhere in README.md or docs/*.md (prose, inline
+     code, fenced blocks) resolves in the SolverRegistry: first against the
+     output of the list_solvers dump binary (--solver-names FILE, one
+     exactly-registered name per line), then — for names the registry
+     resolves dynamically via its "embedded:" / "race:" prefixes — by
+     invoking `list_solvers --check NAME` when --list-solvers-bin is given.
+     Scheme placeholders like `embedded:<base>:<topology>` or
+     `race:<b1>+<b2>` and globs like `embedded:*` / `race:*` are ignored —
      only fully-concrete names are checked.
 
 Usage:
@@ -30,12 +31,20 @@ import subprocess
 import sys
 
 LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
-# Candidate embedded-name tokens, including placeholder/glob forms (which
-# are then filtered out by EMBEDDED_NAME_RE).
-TOKEN_RE = re.compile(r"embedded:[A-Za-z0-9_:*<>x-]+")
 # Fully-concrete embedded registry names: embedded:<base>:<family>:<dims>.
 EMBEDDED_NAME_RE = re.compile(
     r"^embedded:[a-z0-9_]+:[a-z]+:[0-9]+(?:x[0-9]+)*$")
+# One race member: a plain backend name or a concrete embedded:* name.
+_RACE_MEMBER = r"(?:embedded:[a-z0-9_]+:[a-z]+:[0-9]+(?:x[0-9]+)*|[a-z0-9_]+)"
+# Fully-concrete portfolio names: race:<member>+<member>[+...].
+RACE_NAME_RE = re.compile(rf"^race:{_RACE_MEMBER}(?:\+{_RACE_MEMBER})+$")
+# Per dynamically-resolved family: (candidate-token regex — includes
+# placeholder/glob forms, which the name regex then filters out; concrete
+# registry-name regex).
+NAME_FAMILIES = [
+    (re.compile(r"embedded:[A-Za-z0-9_:*<>x-]+"), EMBEDDED_NAME_RE),
+    (re.compile(r"race:[A-Za-z0-9_:*<>x+-]+"), RACE_NAME_RE),
+]
 
 
 def fail(errors):
@@ -100,22 +109,24 @@ def main():
             if not os.path.exists(path):
                 errors.append(f"{rel}: broken link -> {target}")
 
-        # 3. Concrete embedded:* registry-name examples resolve.
-        for token in set(TOKEN_RE.findall(text)):
-            if not EMBEDDED_NAME_RE.match(token):
-                continue  # Placeholder/glob forms are documentation, not names.
-            checked_names += 1
-            if token in registered:
-                continue
-            if args.list_solvers_bin is not None:
-                probe = subprocess.run(
-                    [args.list_solvers_bin, "--check", token],
-                    capture_output=True)
-                if probe.returncode == 0:
+        # 3. Concrete embedded:* / race:* registry-name examples resolve.
+        for token_re, name_re in NAME_FAMILIES:
+            for token in sorted(set(token_re.findall(text))):
+                if not name_re.match(token):
+                    continue  # Placeholder/glob forms are docs, not names.
+                checked_names += 1
+                if token in registered:
                     continue
-            errors.append(
-                f"{rel}: registry-name example '{token}' does not resolve "
-                f"in the SolverRegistry (run list_solvers to see names)")
+                if args.list_solvers_bin is not None:
+                    probe = subprocess.run(
+                        [args.list_solvers_bin, "--check", token],
+                        capture_output=True)
+                    if probe.returncode == 0:
+                        continue
+                errors.append(
+                    f"{rel}: registry-name example '{token}' does not "
+                    f"resolve in the SolverRegistry (run list_solvers to "
+                    f"see names)")
 
     if errors:
         return fail(errors)

@@ -89,7 +89,8 @@ OptimizationResult NelderMead::Minimize(const Objective& f,
         // Shrink toward the best vertex.
         for (size_t i = 1; i < simplex.size(); ++i) {
           for (size_t d = 0; d < n; ++d) {
-            simplex[i][d] = simplex[0][d] + 0.5 * (simplex[i][d] - simplex[0][d]);
+            simplex[i][d] =
+                simplex[0][d] + 0.5 * (simplex[i][d] - simplex[0][d]);
           }
           values[i] = eval(simplex[i]);
         }

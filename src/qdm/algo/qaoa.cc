@@ -22,7 +22,8 @@ std::vector<double> BuildDiagonal(const anneal::Qubo& qubo) {
   }
   for (const auto& [key, w] : qubo.quadratic_terms()) {
     if (w == 0.0) continue;
-    const uint64_t mask = (uint64_t{1} << key.first) | (uint64_t{1} << key.second);
+    const uint64_t mask =
+        (uint64_t{1} << key.first) | (uint64_t{1} << key.second);
     for (uint64_t z = 0; z < dim; ++z) {
       if ((z & mask) == mask) diag[z] += w;
     }
@@ -42,7 +43,8 @@ sim::Statevector Qaoa::StateForParameters(
     const std::vector<double>& params) const {
   QDM_CHECK_EQ(params.size(), static_cast<size_t>(num_parameters()));
   sim::Statevector sv(num_qubits_);
-  const linalg::Matrix h = circuit::SingleQubitMatrix(circuit::GateKind::kH, {});
+  const linalg::Matrix h =
+      circuit::SingleQubitMatrix(circuit::GateKind::kH, {});
   for (int q = 0; q < num_qubits_; ++q) sv.Apply1Q(h, q);
 
   for (int l = 0; l < layers_; ++l) {
@@ -68,10 +70,12 @@ circuit::Circuit Qaoa::BuildCircuit(const std::vector<double>& params) const {
   for (int l = 0; l < layers_; ++l) {
     const double gamma = params[l];
     const double beta = params[layers_ + l];
-    // exp(-i gamma C) in Ising form: C = offset + sum h_i s_i + sum J_ij s_i s_j
+    // exp(-i gamma C) in Ising form:
+    //   C = offset + sum h_i s_i + sum J_ij s_i s_j
     // with s = 2x - 1. RZ(theta) applies phase e^{i theta/2 s}; we need
     // e^{-i gamma h s}, hence theta = -2 gamma h. RZZ(theta) applies
-    // e^{-i theta/2 s_i s_j}; we need e^{-i gamma J s_i s_j}: theta = 2 gamma J.
+    // e^{-i theta/2 s_i s_j}; we need e^{-i gamma J s_i s_j}:
+    // theta = 2 gamma J.
     // The constant offset contributes only a global phase and is dropped.
     for (int i = 0; i < num_qubits_; ++i) {
       if (ising_.h[i] != 0.0) c.RZ(i, -2 * gamma * ising_.h[i]);

@@ -47,8 +47,9 @@ class VariationalSolver : public anneal::QuboSolver {
   VariationalSolver(std::string registry_name, const char* label)
       : registry_name_(std::move(registry_name)), label_(label) {}
 
-  Result<anneal::SampleSet> Solve(const anneal::Qubo& qubo,
-                                  const anneal::SolverOptions& options) override {
+  Result<anneal::SampleSet> Solve(
+      const anneal::Qubo& qubo,
+      const anneal::SolverOptions& options) override {
     QDM_RETURN_IF_ERROR(anneal::ValidateSolverOptions(options));
     typename SamplerT::Options opts;
     if (options.layers > 0) opts.layers = options.layers;
@@ -70,8 +71,9 @@ class VariationalSolver : public anneal::QuboSolver {
 
 class GroverMinSolver : public anneal::QuboSolver {
  public:
-  Result<anneal::SampleSet> Solve(const anneal::Qubo& qubo,
-                                  const anneal::SolverOptions& options) override {
+  Result<anneal::SampleSet> Solve(
+      const anneal::Qubo& qubo,
+      const anneal::SolverOptions& options) override {
     QDM_RETURN_IF_ERROR(anneal::ValidateSolverOptions(options));
     GroverMinSampler::Options grover;
     if (options.max_qubits > 0) grover.max_qubits = options.max_qubits;

@@ -108,7 +108,8 @@ Result<std::unique_ptr<QuboSolver>> MakeEmbeddedSolver(
   QDM_ASSIGN_OR_RETURN(std::unique_ptr<HardwareTopology> topology,
                        MakeTopology(topology_spec));
   return std::unique_ptr<QuboSolver>(std::make_unique<EmbeddedSolver>(
-      name, base, std::shared_ptr<const HardwareTopology>(std::move(topology))));
+      name, base,
+      std::shared_ptr<const HardwareTopology>(std::move(topology))));
 }
 
 bool RegisterEmbeddedSolvers() {

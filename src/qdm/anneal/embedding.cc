@@ -192,7 +192,8 @@ SampleSet UnembedAll(const Qubo& logical, const EmbeddedQubo& embedded,
 
 SampleSet EmbeddedSampler::SampleQubo(const Qubo& qubo, int num_reads,
                                       Rng* rng) {
-  Result<Embedding> embedding = CliqueEmbedding(qubo.num_variables(), *topology_);
+  Result<Embedding> embedding =
+      CliqueEmbedding(qubo.num_variables(), *topology_);
   QDM_CHECK(embedding.ok()) << embedding.status().ToString();
   Result<EmbeddedQubo> embedded =
       EmbedQubo(qubo, *embedding, *topology_, chain_strength_);

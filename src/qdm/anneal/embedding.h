@@ -104,7 +104,8 @@ class EmbeddedSampler : public Sampler {
  public:
   /// Does not take ownership of `base`; `base` must outlive this.
   /// `chain_strength` 0.0 auto-scales per EmbedQubo.
-  EmbeddedSampler(Sampler* base, std::shared_ptr<const HardwareTopology> topology,
+  EmbeddedSampler(Sampler* base,
+                  std::shared_ptr<const HardwareTopology> topology,
                   double chain_strength,
                   ChainBreakPolicy policy = ChainBreakPolicy::kMajorityVote)
       : base_(base),

@@ -8,7 +8,8 @@
 namespace qdm {
 namespace anneal {
 
-SampleSet ParallelTempering::SampleQubo(const Qubo& qubo, int num_reads, Rng* rng) {
+SampleSet ParallelTempering::SampleQubo(const Qubo& qubo, int num_reads,
+                                        Rng* rng) {
   QDM_CHECK_GT(num_reads, 0);
   QDM_CHECK_GE(options_.num_replicas, 2);
   const QuboAdjacency adj(qubo);

@@ -105,12 +105,15 @@ std::vector<int> Qubo::Neighbors(int i) const {
 }
 
 std::string Qubo::ToString() const {
-  std::string out = StrFormat("Qubo(n=%d, offset=%.4g)\n", num_variables_, offset_);
+  std::string out =
+      StrFormat("Qubo(n=%d, offset=%.4g)\n", num_variables_, offset_);
   for (int i = 0; i < num_variables_; ++i) {
     if (linear_[i] != 0.0) out += StrFormat("  %.4g x%d\n", linear_[i], i);
   }
   for (const auto& [key, w] : quadratic_) {
-    if (w != 0.0) out += StrFormat("  %.4g x%d x%d\n", w, key.first, key.second);
+    if (w != 0.0) {
+      out += StrFormat("  %.4g x%d x%d\n", w, key.first, key.second);
+    }
   }
   return out;
 }

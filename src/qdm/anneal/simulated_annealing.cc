@@ -16,9 +16,11 @@ QuboAdjacency::QuboAdjacency(const Qubo& qubo)
   for (int i = 0; i < num_variables_; ++i) {
     linear_[i] = qubo.linear(i);
     if (linear_[i] != 0.0) {
-      max_abs_coefficient_ = std::max(max_abs_coefficient_, std::abs(linear_[i]));
+      max_abs_coefficient_ =
+          std::max(max_abs_coefficient_, std::abs(linear_[i]));
       min_nonzero = min_nonzero == 0.0 ? std::abs(linear_[i])
-                                       : std::min(min_nonzero, std::abs(linear_[i]));
+                                       : std::min(min_nonzero,
+                                                  std::abs(linear_[i]));
     }
   }
   for (const auto& [key, w] : qubo.quadratic_terms()) {
@@ -26,7 +28,8 @@ QuboAdjacency::QuboAdjacency(const Qubo& qubo)
     adjacency_[key.first].push_back({key.second, w});
     adjacency_[key.second].push_back({key.first, w});
     max_abs_coefficient_ = std::max(max_abs_coefficient_, std::abs(w));
-    min_nonzero = min_nonzero == 0.0 ? std::abs(w) : std::min(min_nonzero, std::abs(w));
+    min_nonzero = min_nonzero == 0.0 ? std::abs(w)
+                                     : std::min(min_nonzero, std::abs(w));
   }
   min_abs_coefficient_ = min_nonzero;
 }
@@ -51,7 +54,8 @@ double QuboAdjacency::FlipDelta(const Assignment& x, int i) const {
   return x[i] ? -field : field;
 }
 
-SampleSet SimulatedAnnealer::SampleQubo(const Qubo& qubo, int num_reads, Rng* rng) {
+SampleSet SimulatedAnnealer::SampleQubo(const Qubo& qubo, int num_reads,
+                                        Rng* rng) {
   QDM_CHECK_GT(num_reads, 0);
   const QuboAdjacency adj(qubo);
   const int n = adj.num_variables();

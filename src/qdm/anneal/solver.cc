@@ -57,9 +57,10 @@ Result<std::vector<SampleSet>> QuboSolver::SolveBatch(
   std::vector<SampleSet> results;
   results.reserve(qubos.size());
   for (size_t i = 0; i < qubos.size(); ++i) {
-    Result<SampleSet> result = options.rng != nullptr
-                                   ? Solve(qubos[i], options)
-                                   : Solve(qubos[i], DeriveBatchOptions(options, i));
+    Result<SampleSet> result =
+        options.rng != nullptr
+            ? Solve(qubos[i], options)
+            : Solve(qubos[i], DeriveBatchOptions(options, i));
     if (!result.ok()) {
       return AnnotateBatchError(result.status(), i, qubos.size());
     }
@@ -202,7 +203,9 @@ class TabuSearchSolver : public QuboSolver {
                           const SolverOptions& options) override {
     QDM_RETURN_IF_ERROR(ValidateSolverOptions(options));
     TabuSearch::Options tabu;
-    if (options.max_iterations > 0) tabu.max_iterations = options.max_iterations;
+    if (options.max_iterations > 0) {
+      tabu.max_iterations = options.max_iterations;
+    }
     if (options.tenure > 0) tabu.tenure = options.tenure;
     TabuSearch sampler(tabu);
     std::optional<Rng> local;
@@ -271,7 +274,9 @@ SolverRegistry::SolverRegistry() {
   factories_["parallel_tempering"] = [] {
     return std::make_unique<ParallelTemperingSolver>();
   };
-  factories_["tabu_search"] = [] { return std::make_unique<TabuSearchSolver>(); };
+  factories_["tabu_search"] = [] {
+    return std::make_unique<TabuSearchSolver>();
+  };
   factories_["exact"] = [] { return std::make_unique<ExactQuboSolver>(); };
 }
 

@@ -85,8 +85,9 @@ struct SolverOptions {
 
 /// Strategy interface of the hybrid quantum/classical architecture (Figure 2
 /// of the paper; cf. Hai et al. and Zajac & Stoerl): data management
-/// applications reformulate their problem as a Qubo and dispatch it to an
-/// interchangeable backend obtained *by name* from the SolverRegistry — they
+/// applications reformulate their problem as a Qubo and dispatch it — via
+/// the shared qopt::QuboPipeline encode→dispatch→decode helper — to an
+/// interchangeable backend obtained *by name* from the SolverRegistry; they
 /// never instantiate a concrete solver class. Backends report misuse (e.g. a
 /// problem too large for the method) as an error Status rather than dying.
 class QuboSolver {
@@ -127,7 +128,9 @@ class QuboSolver {
 /// gate-based bridges in qdm/algo register qaoa, vqe, and grover_min; the
 /// embedded hardware-topology backends in qdm/anneal/embedded_solver.cc
 /// register a default "embedded:<base>:<topology>" set plus the "embedded:"
-/// prefix resolver).
+/// prefix resolver; the portfolio backends in qdm/anneal/portfolio_solver.cc
+/// register "race:simulated_annealing+tabu_search" plus the "race:" prefix
+/// resolver).
 class SolverRegistry {
  public:
   using Factory = std::function<std::unique_ptr<QuboSolver>()>;
@@ -176,8 +179,9 @@ Result<SampleSet> SolveWith(const std::string& solver_name, const Qubo& qubo,
                             const SolverOptions& options);
 
 /// Like SolveWith, but returns only the lowest-energy sample and converts an
-/// empty sample set into an Internal error — the shared tail of the qopt
-/// SolveX entry points.
+/// empty sample set into an Internal error. (The qopt applications now share
+/// this tail through qopt::QuboPipeline, which uses the batch sibling
+/// BestOfEach; this single-shot form remains for direct registry users.)
 Result<Sample> SolveForBest(const std::string& solver_name, const Qubo& qubo,
                             const SolverOptions& options);
 
@@ -212,8 +216,8 @@ SolverOptions DeriveBatchOptions(const SolverOptions& options, size_t index);
 
 /// Maps each SampleSet of a batch to its lowest-energy sample, converting an
 /// empty set into an Internal error naming the batch instance — the batch
-/// sibling of SolveForBest and the shared tail of the qopt batch entry
-/// points (SolveMqoBatch, SolveTxnScheduleEpochs).
+/// sibling of SolveForBest and the shared tail of qopt::QuboPipeline (and
+/// therefore of every qopt entry point, single-shot and batched alike).
 Result<std::vector<Sample>> BestOfEach(const std::vector<SampleSet>& sets,
                                        const std::string& solver_name);
 
@@ -222,7 +226,8 @@ Result<std::vector<Sample>> BestOfEach(const std::vector<SampleSet>& sets,
 /// Resolves the caller's Rng or materializes one in `storage` seeded from
 /// `options.seed`. Shared by every backend so rng/seed semantics cannot
 /// diverge between the annealing and gate-based families.
-Rng* ResolveSolverRng(const SolverOptions& options, std::optional<Rng>* storage);
+Rng* ResolveSolverRng(const SolverOptions& options,
+                      std::optional<Rng>* storage);
 
 /// Validates the backend-independent knobs: num_reads must be positive, and
 /// the inverse-temperature ladder must be either fully unset (auto-scaling)

@@ -49,9 +49,15 @@ class Circuit {
   Circuit& Tdg(int q) { return Append(GateKind::kTdg, {q}, {}); }
 
   // -- Parameterized single-qubit gates --------------------------------------
-  Circuit& RX(int q, double theta) { return Append(GateKind::kRX, {q}, {theta}); }
-  Circuit& RY(int q, double theta) { return Append(GateKind::kRY, {q}, {theta}); }
-  Circuit& RZ(int q, double theta) { return Append(GateKind::kRZ, {q}, {theta}); }
+  Circuit& RX(int q, double theta) {
+    return Append(GateKind::kRX, {q}, {theta});
+  }
+  Circuit& RY(int q, double theta) {
+    return Append(GateKind::kRY, {q}, {theta});
+  }
+  Circuit& RZ(int q, double theta) {
+    return Append(GateKind::kRZ, {q}, {theta});
+  }
   Circuit& Phase(int q, double lambda) {
     return Append(GateKind::kPhase, {q}, {lambda});
   }
@@ -113,8 +119,10 @@ class Circuit {
   int MultiQubitGateCount() const;
 
  private:
-  Circuit& Append(GateKind kind, std::vector<int> qubits, std::vector<double> params);
-  Circuit& AppendSymbolic(GateKind kind, std::vector<int> qubits, int param_ref);
+  Circuit& Append(GateKind kind, std::vector<int> qubits,
+                  std::vector<double> params);
+  Circuit& AppendSymbolic(GateKind kind, std::vector<int> qubits,
+                          int param_ref);
 
   int num_qubits_;
   int num_parameters_ = 0;

@@ -91,7 +91,8 @@ const char* GateName(GateKind kind) {
   return "?";
 }
 
-linalg::Matrix SingleQubitMatrix(GateKind kind, const std::vector<double>& params) {
+linalg::Matrix SingleQubitMatrix(GateKind kind,
+                                 const std::vector<double>& params) {
   QDM_CHECK_EQ(static_cast<size_t>(GateParamCount(kind)), params.size())
       << "wrong parameter count for gate " << GateName(kind);
   using linalg::Matrix;

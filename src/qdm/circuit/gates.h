@@ -52,9 +52,11 @@ int GateParamCount(GateKind kind);
 const char* GateName(GateKind kind);
 
 /// 2x2 unitary for a single-qubit gate. `params` must match GateParamCount.
-/// Convention: RX/RY/RZ(theta) = exp(-i theta P / 2); Phase(l) = diag(1, e^{il});
+/// Convention: RX/RY/RZ(theta) = exp(-i theta P / 2);
+/// Phase(l) = diag(1, e^{il});
 /// U3(theta, phi, lambda) is the standard IBM parameterization.
-linalg::Matrix SingleQubitMatrix(GateKind kind, const std::vector<double>& params);
+linalg::Matrix SingleQubitMatrix(GateKind kind,
+                                 const std::vector<double>& params);
 
 }  // namespace circuit
 }  // namespace qdm

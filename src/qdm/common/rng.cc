@@ -9,7 +9,8 @@ size_t Rng::Categorical(const std::vector<double>& weights) {
     QDM_CHECK_GE(w, 0.0);
     total += w;
   }
-  QDM_CHECK_GT(total, 0.0) << "Categorical() needs at least one positive weight";
+  QDM_CHECK_GT(total, 0.0)
+      << "Categorical() needs at least one positive weight";
   double r = Uniform() * total;
   double acc = 0.0;
   for (size_t i = 0; i < weights.size(); ++i) {

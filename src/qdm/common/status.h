@@ -87,8 +87,8 @@ class Result {
  public:
   /// Implicit construction from a value or from an error status keeps call
   /// sites terse: `return value;` / `return Status::InvalidArgument(...)`.
-  Result(T value) : data_(std::move(value)) {}         // NOLINT(runtime/explicit)
-  Result(Status status) : data_(std::move(status)) {   // NOLINT(runtime/explicit)
+  Result(T value) : data_(std::move(value)) {}        // NOLINT
+  Result(Status status) : data_(std::move(status)) {  // NOLINT
     QDM_CHECK(!std::get<Status>(data_).ok())
         << "Result<T> constructed from OK status without a value";
   }

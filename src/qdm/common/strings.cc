@@ -23,7 +23,8 @@ std::string StrFormat(const char* fmt, ...) {
   return result;
 }
 
-std::string StrJoin(const std::vector<std::string>& parts, const std::string& sep) {
+std::string StrJoin(const std::vector<std::string>& parts,
+                    const std::string& sep) {
   std::string result;
   for (size_t i = 0; i < parts.size(); ++i) {
     if (i > 0) result += sep;
@@ -50,8 +51,13 @@ std::vector<std::string> StrSplit(const std::string& text, char sep) {
 std::string StrTrim(const std::string& text) {
   size_t begin = 0;
   size_t end = text.size();
-  while (begin < end && std::isspace(static_cast<unsigned char>(text[begin]))) ++begin;
-  while (end > begin && std::isspace(static_cast<unsigned char>(text[end - 1]))) --end;
+  while (begin < end && std::isspace(static_cast<unsigned char>(text[begin]))) {
+    ++begin;
+  }
+  while (end > begin &&
+         std::isspace(static_cast<unsigned char>(text[end - 1]))) {
+    --end;
+  }
   return text.substr(begin, end - begin);
 }
 
@@ -62,7 +68,9 @@ bool StartsWith(const std::string& text, const std::string& prefix) {
 
 std::string ToLower(const std::string& text) {
   std::string result = text;
-  for (char& c : result) c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  for (char& c : result) {
+    c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  }
   return result;
 }
 

@@ -8,10 +8,12 @@ namespace qdm {
 
 /// printf-style formatting into a std::string.
 /// (libstdc++ 12 does not ship <format>, so the toolkit provides this shim.)
-std::string StrFormat(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+std::string StrFormat(const char* fmt, ...)
+    __attribute__((format(printf, 1, 2)));
 
 /// Joins `parts` with `sep` ("a", "b" -> "a,b").
-std::string StrJoin(const std::vector<std::string>& parts, const std::string& sep);
+std::string StrJoin(const std::vector<std::string>& parts,
+                    const std::string& sep);
 
 /// Splits `text` at every occurrence of `sep`; keeps empty fields.
 std::vector<std::string> StrSplit(const std::string& text, char sep);

@@ -39,7 +39,9 @@ std::string TablePrinter::ToString() const {
 
   std::string out = render_row(header_);
   size_t total = 0;
-  for (size_t c = 0; c < widths.size(); ++c) total += widths[c] + (c + 1 < widths.size() ? 2 : 0);
+  for (size_t c = 0; c < widths.size(); ++c) {
+    total += widths[c] + (c + 1 < widths.size() ? 2 : 0);
+  }
   out.append(total, '-');
   out += '\n';
   for (const auto& row : rows_) out += render_row(row);

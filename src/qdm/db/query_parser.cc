@@ -15,7 +15,8 @@ struct Tokenizer {
   size_t pos = 0;
 
   void SkipSpace() {
-    while (pos < text.size() && std::isspace(static_cast<unsigned char>(text[pos]))) {
+    while (pos < text.size() &&
+           std::isspace(static_cast<unsigned char>(text[pos]))) {
       ++pos;
     }
   }
@@ -28,7 +29,9 @@ struct Tokenizer {
   /// Next token: identifier, or one of ". , = *".
   Result<std::string> Next() {
     SkipSpace();
-    if (pos >= text.size()) return Status::InvalidArgument("unexpected end of query");
+    if (pos >= text.size()) {
+      return Status::InvalidArgument("unexpected end of query");
+    }
     const char c = text[pos];
     if (c == '.' || c == ',' || c == '=' || c == '*') {
       ++pos;
@@ -51,7 +54,8 @@ struct Tokenizer {
     QDM_ASSIGN_OR_RETURN(std::string token, Next());
     if (ToLower(token) != ToLower(expected)) {
       return Status::InvalidArgument(
-          StrFormat("expected '%s', got '%s'", expected.c_str(), token.c_str()));
+          StrFormat("expected '%s', got '%s'", expected.c_str(),
+                    token.c_str()));
     }
     return Status::Ok();
   }
@@ -74,7 +78,8 @@ Result<std::pair<std::string, std::string>> ParseColumnRef(Tokenizer* t) {
   QDM_RETURN_IF_ERROR(t->Expect("."));
   QDM_ASSIGN_OR_RETURN(std::string column, t->Next());
   if (!IsIdentifier(column)) {
-    return Status::InvalidArgument("expected column name, got '" + column + "'");
+    return Status::InvalidArgument("expected column name, got '" + column +
+                                   "'");
   }
   return std::make_pair(table, column);
 }
@@ -93,7 +98,8 @@ Result<ParsedQuery> ParseConjunctiveQuery(const std::string& sql) {
   while (true) {
     QDM_ASSIGN_OR_RETURN(std::string table, t.Next());
     if (!IsIdentifier(table)) {
-      return Status::InvalidArgument("expected table name, got '" + table + "'");
+      return Status::InvalidArgument("expected table name, got '" + table +
+                                     "'");
     }
     for (const std::string& existing : query.tables) {
       if (existing == table) {

@@ -28,7 +28,8 @@ ValueType Value::type() const {
 }
 
 int64_t Value::AsInt64() const {
-  QDM_CHECK(type() == ValueType::kInt64) << "Value is " << ValueTypeToString(type());
+  QDM_CHECK(type() == ValueType::kInt64)
+      << "Value is " << ValueTypeToString(type());
   return std::get<int64_t>(data_);
 }
 
@@ -36,19 +37,22 @@ double Value::AsDouble() const {
   if (type() == ValueType::kInt64) {
     return static_cast<double>(std::get<int64_t>(data_));
   }
-  QDM_CHECK(type() == ValueType::kDouble) << "Value is " << ValueTypeToString(type());
+  QDM_CHECK(type() == ValueType::kDouble)
+      << "Value is " << ValueTypeToString(type());
   return std::get<double>(data_);
 }
 
 const std::string& Value::AsString() const {
-  QDM_CHECK(type() == ValueType::kString) << "Value is " << ValueTypeToString(type());
+  QDM_CHECK(type() == ValueType::kString)
+      << "Value is " << ValueTypeToString(type());
   return std::get<std::string>(data_);
 }
 
 std::string Value::ToString() const {
   switch (type()) {
     case ValueType::kNull: return "NULL";
-    case ValueType::kInt64: return StrFormat("%lld", static_cast<long long>(AsInt64()));
+    case ValueType::kInt64:
+      return StrFormat("%lld", static_cast<long long>(AsInt64()));
     case ValueType::kDouble: return StrFormat("%g", std::get<double>(data_));
     case ValueType::kString: return "'" + AsString() + "'";
   }
@@ -58,9 +62,12 @@ std::string Value::ToString() const {
 size_t Value::Hash() const {
   switch (type()) {
     case ValueType::kNull: return 0x9e3779b9;
-    case ValueType::kInt64: return std::hash<int64_t>{}(std::get<int64_t>(data_));
-    case ValueType::kDouble: return std::hash<double>{}(std::get<double>(data_));
-    case ValueType::kString: return std::hash<std::string>{}(std::get<std::string>(data_));
+    case ValueType::kInt64:
+      return std::hash<int64_t>{}(std::get<int64_t>(data_));
+    case ValueType::kDouble:
+      return std::hash<double>{}(std::get<double>(data_));
+    case ValueType::kString:
+      return std::hash<std::string>{}(std::get<std::string>(data_));
   }
   return 0;
 }

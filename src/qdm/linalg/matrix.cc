@@ -27,14 +27,18 @@ Matrix Matrix::Identity(size_t n) {
 Matrix Matrix::operator+(const Matrix& other) const {
   QDM_CHECK(rows_ == other.rows_ && cols_ == other.cols_);
   Matrix out(rows_, cols_);
-  for (size_t i = 0; i < data_.size(); ++i) out.data_[i] = data_[i] + other.data_[i];
+  for (size_t i = 0; i < data_.size(); ++i) {
+    out.data_[i] = data_[i] + other.data_[i];
+  }
   return out;
 }
 
 Matrix Matrix::operator-(const Matrix& other) const {
   QDM_CHECK(rows_ == other.rows_ && cols_ == other.cols_);
   Matrix out(rows_, cols_);
-  for (size_t i = 0; i < data_.size(); ++i) out.data_[i] = data_[i] - other.data_[i];
+  for (size_t i = 0; i < data_.size(); ++i) {
+    out.data_[i] = data_[i] - other.data_[i];
+  }
   return out;
 }
 

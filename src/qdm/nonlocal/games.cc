@@ -77,7 +77,8 @@ sim::Statevector GhzState() {
 TwoPlayerQuantumStrategy OptimalChshStrategy() {
   TwoPlayerQuantumStrategy strategy;
   strategy.shared_state = BellPhiPlus();
-  strategy.alice_rotations = {MeasureInXZPlane(0.0), MeasureInXZPlane(M_PI / 2)};
+  strategy.alice_rotations = {MeasureInXZPlane(0.0),
+                              MeasureInXZPlane(M_PI / 2)};
   strategy.bob_rotations = {MeasureInXZPlane(M_PI / 4),
                             MeasureInXZPlane(-M_PI / 4)};
   return strategy;
@@ -230,7 +231,8 @@ double PlayThreePlayerGame(const ThreePlayerGame& game,
       state.Apply1Q(strategy.rotations[player][q[player]], player);
     }
     const uint64_t outcome = state.SampleBasisState(rng);
-    if (game.predicate(q, outcome & 1, (outcome >> 1) & 1, (outcome >> 2) & 1)) {
+    if (game.predicate(q, outcome & 1, (outcome >> 1) & 1,
+                       (outcome >> 2) & 1)) {
       ++wins;
     }
   }

@@ -61,7 +61,9 @@ SearchStats QuantumDatabase::GroverSearchEqual(int64_t key, Rng* rng) const {
 SearchStats QuantumDatabase::GroverSearchWhere(
     const std::function<bool(int64_t)>& predicate, Rng* rng) const {
   algo::CountingOracle oracle(
-      [this, &predicate](uint64_t index) { return predicate(records_[index]); });
+      [this, &predicate](uint64_t index) {
+        return predicate(records_[index]);
+      });
   algo::GroverResult r = algo::BbhtSearch(num_qubits_, &oracle, rng);
   SearchStats stats;
   stats.found = r.found;
@@ -74,7 +76,9 @@ SearchStats QuantumDatabase::GroverSearchWhere(
 SearchStats QuantumDatabase::ClassicalSearchWhere(
     const std::function<bool(int64_t)>& predicate, Rng* rng) const {
   algo::CountingOracle oracle(
-      [this, &predicate](uint64_t index) { return predicate(records_[index]); });
+      [this, &predicate](uint64_t index) {
+        return predicate(records_[index]);
+      });
   algo::ClassicalSearchResult r =
       algo::ClassicalLinearSearch(records_.size(), &oracle, rng);
   SearchStats stats;

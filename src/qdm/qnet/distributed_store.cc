@@ -80,14 +80,18 @@ Status DistributedQuantumStore::ReplicateClassical(const std::string& key,
 Result<std::set<int>> DistributedQuantumStore::ClassicalLocations(
     const std::string& key) const {
   auto it = classical_.find(key);
-  if (it == classical_.end()) return Status::NotFound("no classical object: " + key);
+  if (it == classical_.end()) {
+    return Status::NotFound("no classical object: " + key);
+  }
   return it->second.locations;
 }
 
 Result<std::string> DistributedQuantumStore::ReadClassical(
     const std::string& key, int node) const {
   auto it = classical_.find(key);
-  if (it == classical_.end()) return Status::NotFound("no classical object: " + key);
+  if (it == classical_.end()) {
+    return Status::NotFound("no classical object: " + key);
+  }
   if (!it->second.locations.count(node)) {
     return Status::FailedPrecondition(
         StrFormat("node %d holds no replica of %s", node, key.c_str()));
@@ -115,7 +119,9 @@ Status DistributedQuantumStore::PutQuantum(int node, const std::string& key,
 
 Status DistributedQuantumStore::ReplicateQuantum(const std::string& key,
                                                  int /*target_node*/) {
-  if (!quantum_.count(key)) return Status::NotFound("no quantum object: " + key);
+  if (!quantum_.count(key)) {
+    return Status::NotFound("no quantum object: " + key);
+  }
   return Status::FailedPrecondition(
       "no-cloning theorem: quantum data cannot be replicated; "
       "use MigrateQuantum to move it");
@@ -124,7 +130,9 @@ Status DistributedQuantumStore::ReplicateQuantum(const std::string& key,
 Status DistributedQuantumStore::MigrateQuantum(const std::string& key,
                                                int target_node) {
   auto it = quantum_.find(key);
-  if (it == quantum_.end()) return Status::NotFound("no quantum object: " + key);
+  if (it == quantum_.end()) {
+    return Status::NotFound("no quantum object: " + key);
+  }
   if (it->second.location == target_node) return Status::Ok();
 
   QDM_ASSIGN_OR_RETURN(std::vector<int> route,
@@ -149,14 +157,18 @@ Status DistributedQuantumStore::MigrateQuantum(const std::string& key,
 Result<int> DistributedQuantumStore::QuantumLocation(
     const std::string& key) const {
   auto it = quantum_.find(key);
-  if (it == quantum_.end()) return Status::NotFound("no quantum object: " + key);
+  if (it == quantum_.end()) {
+    return Status::NotFound("no quantum object: " + key);
+  }
   return it->second.location;
 }
 
 Result<double> DistributedQuantumStore::QuantumFidelity(
     const std::string& key) const {
   auto it = quantum_.find(key);
-  if (it == quantum_.end()) return Status::NotFound("no quantum object: " + key);
+  if (it == quantum_.end()) {
+    return Status::NotFound("no quantum object: " + key);
+  }
   return it->second.qubit.FidelityWith(it->second.reference_alpha,
                                        it->second.reference_beta);
 }

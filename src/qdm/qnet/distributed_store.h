@@ -74,7 +74,7 @@ class DistributedQuantumStore {
   /// (degrades stochastically with every migration over imperfect pairs).
   Result<double> QuantumFidelity(const std::string& key) const;
 
-  // -- Accounting --------------------------------------------------------------
+  // -- Accounting -------------------------------------------------------------
 
   struct Stats {
     int teleports = 0;

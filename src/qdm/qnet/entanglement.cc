@@ -36,7 +36,8 @@ double PurifyFidelity(double f1, double f2, double* success_probability) {
 
 bool AttemptPurification(EprPair* target, const EprPair& sacrifice, Rng* rng) {
   double p = 0.0;
-  const double improved = PurifyFidelity(target->fidelity, sacrifice.fidelity, &p);
+  const double improved =
+      PurifyFidelity(target->fidelity, sacrifice.fidelity, &p);
   if (!rng->Bernoulli(p)) return false;
   target->fidelity = improved;
   return true;

@@ -11,7 +11,9 @@ namespace qdm {
 namespace qnet {
 
 namespace {
-std::pair<int, int> Key(int a, int b) { return {std::min(a, b), std::max(a, b)}; }
+std::pair<int, int> Key(int a, int b) {
+  return {std::min(a, b), std::max(a, b)};
+}
 }  // namespace
 
 int QuantumNetwork::AddNode(std::string name) {

@@ -69,7 +69,8 @@ double TeleportCircuitFidelity(Complex alpha, Complex beta, Rng* rng) {
 
   // Compare Bob's qubit with the original payload. After measurement of
   // qubits 0 and 1 the state is a product; extract qubit 2's amplitudes.
-  const uint64_t base = static_cast<uint64_t>(m0) | (static_cast<uint64_t>(m1) << 1);
+  const uint64_t base =
+      static_cast<uint64_t>(m0) | (static_cast<uint64_t>(m1) << 1);
   const Complex b0 = sv.amplitude(base);
   const Complex b1 = sv.amplitude(base | 4);
   const Complex overlap = std::conj(alpha) * b0 + std::conj(beta) * b1;

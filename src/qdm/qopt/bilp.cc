@@ -147,8 +147,10 @@ BilpSolution SolveBilpBranchAndBound(const BilpProblem& problem) {
         std::min(0.0, problem.objective[depth]);
     for (size_t r = 0; r < problem.constraints.size(); ++r) {
       const double a = problem.constraints[r].coefficients[depth];
-      state.free_min[r][depth] = state.free_min[r][depth + 1] + std::min(0.0, a);
-      state.free_max[r][depth] = state.free_max[r][depth + 1] + std::max(0.0, a);
+      state.free_min[r][depth] =
+          state.free_min[r][depth + 1] + std::min(0.0, a);
+      state.free_max[r][depth] =
+          state.free_max[r][depth + 1] + std::max(0.0, a);
     }
   }
 
@@ -237,7 +239,8 @@ Result<anneal::Qubo> BilpToQubo(const BilpProblem& problem, double penalty) {
     if (slacks[r].first_bit >= 0) {
       for (int bit = 0; bit < slacks[r].num_bits; ++bit) {
         terms.emplace_back(problem.num_variables + slacks[r].first_bit + bit,
-                           slacks[r].sign * static_cast<double>(int64_t{1} << bit));
+                           slacks[r].sign *
+                               static_cast<double>(int64_t{1} << bit));
       }
     }
     const double b = c.bound;

@@ -54,7 +54,8 @@ BilpSolution SolveBilpBranchAndBound(const BilpProblem& problem);
 ///     A_i x + s = b_i (for <=) into an equality penalty.
 /// The QUBO's first `problem.num_variables` variables are the decision
 /// variables; slack bits follow. With penalty <= 0 a safe value is derived.
-Result<anneal::Qubo> BilpToQubo(const BilpProblem& problem, double penalty = 0.0);
+Result<anneal::Qubo> BilpToQubo(const BilpProblem& problem,
+                                double penalty = 0.0);
 
 // -- Table-I applications ----------------------------------------------------
 

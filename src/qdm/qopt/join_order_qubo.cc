@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "qdm/common/check.h"
+#include "qdm/qopt/qubo_pipeline.h"
 
 namespace qdm {
 namespace qopt {
@@ -19,7 +20,9 @@ int PrefixMultiplicity(int position, int n) {
 }  // namespace
 
 JoinOrderQubo::JoinOrderQubo(const db::JoinGraph& graph, double penalty)
-    : n_(graph.num_relations()), penalty_(penalty), qubo_(std::max(1, n_ * n_)) {
+    : n_(graph.num_relations()),
+      penalty_(penalty),
+      qubo_(std::max(1, n_ * n_)) {
   QDM_CHECK_GE(n_, 2);
 
   // Log weights.
@@ -159,19 +162,26 @@ Result<JoinOrderSolution> SolveJoinOrder(const db::JoinGraph& graph,
                                          const std::string& solver_name,
                                          const anneal::SolverOptions& options,
                                          double penalty) {
+  // The encoding object is shared by both pipeline stages (it carries the
+  // decode layout as well as the qubo), so build it once here and let the
+  // single-problem pipeline capture it.
   JoinOrderQubo encoding(graph, penalty);
-  QDM_ASSIGN_OR_RETURN(
-      anneal::Sample best,
-      anneal::SolveForBest(solver_name, encoding.qubo(), options));
-  JoinOrderSolution solution;
-  // Strict decode doubles as the feasibility check; repair only on failure.
-  solution.order = encoding.Decode(best.assignment);
-  solution.strict_feasible = !solution.order.empty();
-  if (!solution.strict_feasible) {
-    solution.order = encoding.DecodeWithRepair(best.assignment);
-  }
-  solution.best_energy = best.energy;
-  return solution;
+  return QuboPipeline<db::JoinGraph, JoinOrderSolution>(
+             solver_name,
+             [&encoding](const db::JoinGraph&) { return encoding.qubo(); },
+             [&encoding](const db::JoinGraph&, const anneal::Sample& best) {
+               JoinOrderSolution solution;
+               // Strict decode doubles as the feasibility check; repair only
+               // on failure.
+               solution.order = encoding.Decode(best.assignment);
+               solution.strict_feasible = !solution.order.empty();
+               if (!solution.strict_feasible) {
+                 solution.order = encoding.DecodeWithRepair(best.assignment);
+               }
+               solution.best_energy = best.energy;
+               return solution;
+             })
+      .Run(graph, options);
 }
 
 }  // namespace qopt

@@ -54,13 +54,15 @@ class JoinOrderQubo {
   anneal::Qubo qubo_;
 };
 
-/// Join ordering solved end-to-end through the QuboSolver registry: encode
-/// `graph`, dispatch to the backend registered under `solver_name`, decode
-/// the best sample. This (not direct solver construction) is the supported
-/// way for applications to run the Figure-2 pipeline; pass an
-/// "embedded:<base>:<topology>" name to run it under hardware-topology
-/// constraints (note the n^2 permutation encoding needs a topology whose
-/// clique capacity covers it, e.g. pegasus:6 for 4 relations).
+/// Join ordering solved end-to-end through the shared qopt::QuboPipeline:
+/// encode `graph` (JoinOrderQubo), dispatch to the backend registered under
+/// `solver_name`, decode the best sample with repair fallback. This (not
+/// direct solver construction) is the supported way for applications to run
+/// the Figure-2 pipeline; pass an "embedded:<base>:<topology>" name to run
+/// it under hardware-topology constraints (note the n^2 permutation
+/// encoding needs a topology whose clique capacity covers it, e.g.
+/// pegasus:6 for 4 relations) or a "race:<b1>+<b2>" name to hedge across a
+/// solver portfolio.
 struct JoinOrderSolution {
   /// Always a full permutation (repairing decode of the best sample).
   std::vector<int> order;

@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "qdm/common/check.h"
+#include "qdm/qopt/qubo_pipeline.h"
 
 namespace qdm {
 namespace qopt {
@@ -30,7 +31,8 @@ double MqoProblem::SelectionCost(const std::vector<int>& plan_choice) const {
     cost += plan_costs[q][plan_choice[q]];
   }
   for (const Sharing& s : savings) {
-    if (plan_choice[s.query_a] == s.plan_a && plan_choice[s.query_b] == s.plan_b) {
+    if (plan_choice[s.query_a] == s.plan_a &&
+        plan_choice[s.query_b] == s.plan_b) {
       cost -= s.saving;
     }
   }
@@ -193,7 +195,8 @@ MqoSolution LocalSearchMqo(const MqoProblem& problem, int iterations,
   int budget = iterations;
   while (budget > 0) {
     for (int i = 0; i < q; ++i) {
-      choice[i] = static_cast<int>(rng->UniformInt(0, problem.num_plans(i) - 1));
+      choice[i] =
+          static_cast<int>(rng->UniformInt(0, problem.num_plans(i) - 1));
     }
     double cost = problem.SelectionCost(choice);
     --budget;
@@ -225,36 +228,35 @@ MqoSolution LocalSearchMqo(const MqoProblem& problem, int iterations,
   return best;
 }
 
+namespace {
+
+/// The MQO adapter over the shared pipeline: MqoToQubo in, DecodeMqoSample
+/// out. Everything else (registry dispatch, batching, determinism, error
+/// framing) is QuboPipeline.
+QuboPipeline<MqoProblem, MqoSolution> MqoPipeline(
+    const std::string& solver_name, double penalty) {
+  return QuboPipeline<MqoProblem, MqoSolution>(
+      solver_name,
+      [penalty](const MqoProblem& p) { return MqoToQubo(p, penalty); },
+      [](const MqoProblem& p, const anneal::Sample& best) {
+        return DecodeMqoSample(p, best.assignment);
+      });
+}
+
+}  // namespace
+
 Result<MqoSolution> SolveMqo(const MqoProblem& problem,
                              const std::string& solver_name,
                              const anneal::SolverOptions& options,
                              double penalty) {
-  QDM_ASSIGN_OR_RETURN(
-      std::vector<MqoSolution> solutions,
-      SolveMqoBatch({problem}, solver_name, options, penalty,
-                    /*num_threads=*/1));
-  return std::move(solutions.front());
+  return MqoPipeline(solver_name, penalty).Run(problem, options);
 }
 
 Result<std::vector<MqoSolution>> SolveMqoBatch(
     const std::vector<MqoProblem>& problems, const std::string& solver_name,
     const anneal::SolverOptions& options, double penalty, int num_threads) {
-  std::vector<anneal::Qubo> qubos;
-  qubos.reserve(problems.size());
-  for (const MqoProblem& problem : problems) {
-    qubos.push_back(MqoToQubo(problem, penalty));
-  }
-  QDM_ASSIGN_OR_RETURN(
-      std::vector<anneal::SampleSet> sets,
-      anneal::SolveBatchParallel(solver_name, qubos, options, num_threads));
-  QDM_ASSIGN_OR_RETURN(std::vector<anneal::Sample> best,
-                       anneal::BestOfEach(sets, solver_name));
-  std::vector<MqoSolution> solutions;
-  solutions.reserve(problems.size());
-  for (size_t i = 0; i < problems.size(); ++i) {
-    solutions.push_back(DecodeMqoSample(problems[i], best[i].assignment));
-  }
-  return solutions;
+  return MqoPipeline(solver_name, penalty)
+      .RunBatch(problems, options, num_threads);
 }
 
 }  // namespace qopt

@@ -66,33 +66,34 @@ struct MqoSolution {
 MqoSolution DecodeMqoSample(const MqoProblem& problem,
                             const anneal::Assignment& assignment);
 
-/// MQO end-to-end through the QuboSolver registry: encode, dispatch to the
-/// backend registered under `solver_name` (any registry name works,
-/// including the hardware-embedded "embedded:<base>:<topology>" family —
-/// e.g. "embedded:simulated_annealing:pegasus:6" runs the Sec III-B
-/// physical level), strict-decode the best sample. Thin wrapper over
-/// SolveMqoBatch with a one-element batch (sequential, so options.rng is
-/// honored).
+/// MQO end-to-end through the shared qopt::QuboPipeline (see
+/// qubo_pipeline.h): MqoToQubo in, registry dispatch to `solver_name`,
+/// strict DecodeMqoSample of the best sample out. Any registry name works —
+/// the hardware-embedded "embedded:<base>:<topology>" family (e.g.
+/// "embedded:simulated_annealing:pegasus:6" runs the Sec III-B physical
+/// level) and the "race:<b1>+<b2>" portfolios included. A batch of one
+/// (sequential, so options.rng is honored).
 Result<MqoSolution> SolveMqo(const MqoProblem& problem,
                              const std::string& solver_name,
                              const anneal::SolverOptions& options,
                              double penalty = 0.0);
 
-/// Batched MQO, one QUBO per query group: encodes every problem, dispatches
-/// the whole batch through anneal::SolveBatchParallel (fanning out across
-/// `num_threads` pool workers when != 1), and strict-decodes each best
-/// sample. solutions[i] corresponds to problems[i]. Inherits the batch
-/// determinism guarantee: with options.rng == nullptr, problem i is solved
-/// with seed options.seed + i, independent of thread count. All-or-nothing
-/// on failure (lowest failing instance reported).
+/// Batched MQO, one QUBO per query group — QuboPipeline::RunBatch with the
+/// MQO encoder/decoder: encodes every problem, dispatches the whole batch
+/// through anneal::SolveBatchParallel (fanning out across `num_threads`
+/// pool workers when != 1), and strict-decodes each best sample.
+/// solutions[i] corresponds to problems[i]. Inherits the batch determinism
+/// guarantee: with options.rng == nullptr, problem i is solved with seed
+/// options.seed + i, independent of thread count. All-or-nothing on failure
+/// (lowest failing instance reported).
 Result<std::vector<MqoSolution>> SolveMqoBatch(
     const std::vector<MqoProblem>& problems, const std::string& solver_name,
     const anneal::SolverOptions& options, double penalty = 0.0,
     int num_threads = 1);
 
 /// Classical baselines.
-MqoSolution ExhaustiveMqo(const MqoProblem& problem);        // Exponential.
-MqoSolution GreedyMqo(const MqoProblem& problem);            // Marginal-cost greedy.
+MqoSolution ExhaustiveMqo(const MqoProblem& problem);  // Exponential.
+MqoSolution GreedyMqo(const MqoProblem& problem);      // Marginal-cost greedy.
 MqoSolution LocalSearchMqo(const MqoProblem& problem, int iterations, Rng* rng);
 
 }  // namespace qopt

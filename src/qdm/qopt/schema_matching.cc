@@ -6,6 +6,7 @@
 
 #include "qdm/common/check.h"
 #include "qdm/common/strings.h"
+#include "qdm/qopt/qubo_pipeline.h"
 
 namespace qdm {
 namespace qopt {
@@ -206,10 +207,15 @@ Result<Matching> SolveSchemaMatching(const SchemaMatchingProblem& problem,
                                      const std::string& solver_name,
                                      const anneal::SolverOptions& options,
                                      double penalty) {
-  anneal::Qubo qubo = SchemaMatchingToQubo(problem, penalty);
-  QDM_ASSIGN_OR_RETURN(anneal::Sample best,
-                       anneal::SolveForBest(solver_name, qubo, options));
-  return DecodeMatching(problem, best.assignment);
+  return QuboPipeline<SchemaMatchingProblem, Matching>(
+             solver_name,
+             [penalty](const SchemaMatchingProblem& p) {
+               return SchemaMatchingToQubo(p, penalty);
+             },
+             [](const SchemaMatchingProblem& p, const anneal::Sample& best) {
+               return DecodeMatching(p, best.assignment);
+             })
+      .Run(problem, options);
 }
 
 }  // namespace qopt

@@ -50,8 +50,10 @@ struct Matching {
 Matching DecodeMatching(const SchemaMatchingProblem& problem,
                         const anneal::Assignment& assignment);
 
-/// Schema matching end-to-end through the QuboSolver registry: encode,
-/// dispatch to `solver_name`, strict-decode the best sample.
+/// Schema matching end-to-end through the shared qopt::QuboPipeline:
+/// SchemaMatchingToQubo in, registry dispatch to `solver_name` (any name,
+/// including "embedded:*" and "race:*"), strict DecodeMatching of the best
+/// sample out.
 Result<Matching> SolveSchemaMatching(const SchemaMatchingProblem& problem,
                                      const std::string& solver_name,
                                      const anneal::SolverOptions& options,

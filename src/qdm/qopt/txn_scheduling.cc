@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "qdm/common/check.h"
+#include "qdm/qopt/qubo_pipeline.h"
 
 namespace qdm {
 namespace qopt {
@@ -66,7 +67,8 @@ anneal::Qubo TxnScheduleToQubo(const TxnScheduleProblem& problem,
   QDM_CHECK_GT(problem.num_slots, 0);
   if (conflict_penalty <= 0.0) {
     // Must exceed anything the slot-compression weights can save.
-    conflict_penalty = slot_weight * problem.num_txns() * problem.num_slots + 1.0;
+    conflict_penalty =
+        slot_weight * problem.num_txns() * problem.num_slots + 1.0;
   }
   const double assignment_penalty =
       conflict_penalty * (problem.ConflictPairs().size() + 1);
@@ -266,37 +268,39 @@ BlockingReport SimulateTwoPhaseLocking(const TxnScheduleProblem& problem,
   return report;
 }
 
+namespace {
+
+/// The scheduling adapter over the shared pipeline: TxnScheduleToQubo in,
+/// DecodeSchedule out.
+QuboPipeline<TxnScheduleProblem, Schedule> TxnSchedulePipeline(
+    const std::string& solver_name, double conflict_penalty,
+    double slot_weight) {
+  return QuboPipeline<TxnScheduleProblem, Schedule>(
+      solver_name,
+      [conflict_penalty, slot_weight](const TxnScheduleProblem& p) {
+        return TxnScheduleToQubo(p, conflict_penalty, slot_weight);
+      },
+      [](const TxnScheduleProblem& p, const anneal::Sample& best) {
+        return DecodeSchedule(p, best.assignment);
+      });
+}
+
+}  // namespace
+
 Result<Schedule> SolveTxnSchedule(const TxnScheduleProblem& problem,
                                   const std::string& solver_name,
                                   const anneal::SolverOptions& options,
                                   double conflict_penalty, double slot_weight) {
-  QDM_ASSIGN_OR_RETURN(
-      std::vector<Schedule> schedules,
-      SolveTxnScheduleEpochs({problem}, solver_name, options, conflict_penalty,
-                             slot_weight, /*num_threads=*/1));
-  return std::move(schedules.front());
+  return TxnSchedulePipeline(solver_name, conflict_penalty, slot_weight)
+      .Run(problem, options);
 }
 
 Result<std::vector<Schedule>> SolveTxnScheduleEpochs(
     const std::vector<TxnScheduleProblem>& epochs,
     const std::string& solver_name, const anneal::SolverOptions& options,
     double conflict_penalty, double slot_weight, int num_threads) {
-  std::vector<anneal::Qubo> qubos;
-  qubos.reserve(epochs.size());
-  for (const TxnScheduleProblem& epoch : epochs) {
-    qubos.push_back(TxnScheduleToQubo(epoch, conflict_penalty, slot_weight));
-  }
-  QDM_ASSIGN_OR_RETURN(
-      std::vector<anneal::SampleSet> sets,
-      anneal::SolveBatchParallel(solver_name, qubos, options, num_threads));
-  QDM_ASSIGN_OR_RETURN(std::vector<anneal::Sample> best,
-                       anneal::BestOfEach(sets, solver_name));
-  std::vector<Schedule> schedules;
-  schedules.reserve(epochs.size());
-  for (size_t i = 0; i < epochs.size(); ++i) {
-    schedules.push_back(DecodeSchedule(epochs[i], best[i].assignment));
-  }
-  return schedules;
+  return TxnSchedulePipeline(solver_name, conflict_penalty, slot_weight)
+      .RunBatch(epochs, options, num_threads);
 }
 
 }  // namespace qopt

@@ -55,10 +55,10 @@ struct Schedule {
 Schedule DecodeSchedule(const TxnScheduleProblem& problem,
                         const anneal::Assignment& assignment);
 
-/// Transaction scheduling end-to-end through the QuboSolver registry:
-/// encode, dispatch to `solver_name`, strict-decode the best sample. Thin
-/// wrapper over SolveTxnScheduleEpochs with a one-element batch (sequential,
-/// so options.rng is honored).
+/// Transaction scheduling end-to-end through the shared qopt::QuboPipeline:
+/// TxnScheduleToQubo in, registry dispatch to `solver_name` (any name,
+/// including "embedded:*" and "race:*"), strict DecodeSchedule of the best
+/// sample out. A batch of one (sequential, so options.rng is honored).
 Result<Schedule> SolveTxnSchedule(const TxnScheduleProblem& problem,
                                   const std::string& solver_name,
                                   const anneal::SolverOptions& options,
@@ -66,9 +66,10 @@ Result<Schedule> SolveTxnSchedule(const TxnScheduleProblem& problem,
                                   double slot_weight = 1.0);
 
 /// Batched scheduling, one QUBO per epoch of incoming transactions (the
-/// per-epoch batches of Bittner & Groppe): encodes every epoch, dispatches
-/// the batch through anneal::SolveBatchParallel (fanning out across
-/// `num_threads` pool workers when != 1), strict-decodes each best sample.
+/// per-epoch batches of Bittner & Groppe) — QuboPipeline::RunBatch with the
+/// scheduling encoder/decoder: encodes every epoch, dispatches the batch
+/// through anneal::SolveBatchParallel (fanning out across `num_threads`
+/// pool workers when != 1), strict-decodes each best sample.
 /// schedules[i] corresponds to epochs[i]. With options.rng == nullptr,
 /// epoch i is solved with seed options.seed + i — bit-identical results for
 /// every thread count. All-or-nothing on failure.

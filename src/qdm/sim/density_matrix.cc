@@ -12,7 +12,8 @@ namespace sim {
 using linalg::Matrix;
 
 DensityMatrix::DensityMatrix(int num_qubits)
-    : num_qubits_(num_qubits), rho_(size_t{1} << num_qubits, size_t{1} << num_qubits) {
+    : num_qubits_(num_qubits),
+      rho_(size_t{1} << num_qubits, size_t{1} << num_qubits) {
   QDM_CHECK(num_qubits > 0 && num_qubits <= 10)
       << "DensityMatrix is intended for small systems";
   rho_(0, 0) = Complex(1, 0);
@@ -112,7 +113,9 @@ double DensityMatrix::Purity() const { return (rho_ * rho_).Trace().real(); }
 
 DensityMatrix DensityMatrix::PartialTrace(const std::vector<int>& keep) const {
   QDM_CHECK(!keep.empty());
-  for (size_t i = 0; i + 1 < keep.size(); ++i) QDM_CHECK_LT(keep[i], keep[i + 1]);
+  for (size_t i = 0; i + 1 < keep.size(); ++i) {
+    QDM_CHECK_LT(keep[i], keep[i + 1]);
+  }
   const int k = static_cast<int>(keep.size());
   const size_t out_dim = size_t{1} << k;
   Matrix out(out_dim, out_dim);

@@ -173,7 +173,8 @@ void Statevector::Apply1Q(const linalg::Matrix& u, int q) {
   });
 }
 
-void Statevector::ApplyControlled1Q(const std::vector<int>& controls, int target,
+void Statevector::ApplyControlled1Q(const std::vector<int>& controls,
+                                    int target,
                                     const linalg::Matrix& u) {
   QDM_CHECK(u.rows() == 2 && u.cols() == 2);
   QDM_CHECK(target >= 0 && target < num_qubits_);
@@ -329,7 +330,8 @@ void Statevector::ApplyGate(const circuit::Gate& gate) {
     case GateKind::kRZ:
     case GateKind::kPhase:
     case GateKind::kU3:
-      Apply1Q(circuit::SingleQubitMatrix(gate.kind, gate.params), gate.qubits[0]);
+      Apply1Q(circuit::SingleQubitMatrix(gate.kind, gate.params),
+              gate.qubits[0]);
       return;
     case GateKind::kCX:
       ApplyControlled1Q({gate.qubits[0]}, gate.qubits[1],

@@ -118,7 +118,8 @@ class Statevector {
   /// exp(i * scale * phases[z]). Hot path for loops that reapply one
   /// diagonal with varying prefactors (QAOA layers, Grover oracle sweeps) —
   /// no per-element std::function indirection.
-  void ApplyDiagonalPhase(const std::vector<double>& phases, double scale = 1.0);
+  void ApplyDiagonalPhase(const std::vector<double>& phases,
+                          double scale = 1.0);
 
   /// Applies one circuit gate / a whole circuit (circuit must be fully bound).
   void ApplyGate(const circuit::Gate& gate);

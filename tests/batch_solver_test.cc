@@ -157,7 +157,8 @@ TEST(BatchSolverTest, SharedRngIsRejectedUnlessStrictlySequential) {
 }
 
 TEST(BatchSolverTest, EmptyBatchSucceedsWithEmptyResult) {
-  auto result = SolveBatchParallel("simulated_annealing", {}, FastOptions(1), 4);
+  auto result =
+      SolveBatchParallel("simulated_annealing", {}, FastOptions(1), 4);
   ASSERT_TRUE(result.ok()) << result.status();
   EXPECT_TRUE(result->empty());
 }

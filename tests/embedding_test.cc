@@ -32,12 +32,14 @@ TEST(ChimeraTest, InCellBipartiteEdges) {
   ChimeraGraph g(1, 1, 4);
   for (int kv = 0; kv < 4; ++kv) {
     for (int kh = 0; kh < 4; ++kh) {
-      EXPECT_TRUE(g.HasEdge(g.VerticalQubit(0, 0, kv), g.HorizontalQubit(0, 0, kh)));
+      EXPECT_TRUE(
+          g.HasEdge(g.VerticalQubit(0, 0, kv), g.HorizontalQubit(0, 0, kh)));
     }
   }
   // No edges within a shore.
   EXPECT_FALSE(g.HasEdge(g.VerticalQubit(0, 0, 0), g.VerticalQubit(0, 0, 1)));
-  EXPECT_FALSE(g.HasEdge(g.HorizontalQubit(0, 0, 2), g.HorizontalQubit(0, 0, 3)));
+  EXPECT_FALSE(
+      g.HasEdge(g.HorizontalQubit(0, 0, 2), g.HorizontalQubit(0, 0, 3)));
 }
 
 TEST(ChimeraTest, InterCellCouplers) {
@@ -47,8 +49,10 @@ TEST(ChimeraTest, InterCellCouplers) {
   EXPECT_FALSE(g.HasEdge(g.VerticalQubit(0, 1, 0), g.VerticalQubit(2, 1, 0)));
   EXPECT_FALSE(g.HasEdge(g.VerticalQubit(0, 1, 0), g.VerticalQubit(1, 1, 1)));
   // Horizontal couplers connect same row/offset, adjacent columns.
-  EXPECT_TRUE(g.HasEdge(g.HorizontalQubit(2, 0, 1), g.HorizontalQubit(2, 1, 1)));
-  EXPECT_FALSE(g.HasEdge(g.HorizontalQubit(2, 0, 1), g.HorizontalQubit(1, 0, 1)));
+  EXPECT_TRUE(
+      g.HasEdge(g.HorizontalQubit(2, 0, 1), g.HorizontalQubit(2, 1, 1)));
+  EXPECT_FALSE(
+      g.HasEdge(g.HorizontalQubit(2, 0, 1), g.HorizontalQubit(1, 0, 1)));
 }
 
 TEST(ChimeraTest, EdgesListMatchesHasEdge) {

@@ -115,7 +115,8 @@ TEST(ExecutorTest, BushyPlanMatchesLeftDeepOutput) {
       QueryShape::kChain, 4, WorkloadOptions{.min_rows = 15, .max_rows = 30},
       &rng);
   auto left_deep =
-      ExecuteJoinTree(LeftDeepFromPermutation({0, 1, 2, 3}), w.graph, w.catalog);
+      ExecuteJoinTree(LeftDeepFromPermutation({0, 1, 2, 3}), w.graph,
+                      w.catalog);
   auto bushy = ExecuteJoinTree(
       MakeJoin(MakeJoin(MakeLeaf(0), MakeLeaf(1)),
                MakeJoin(MakeLeaf(2), MakeLeaf(3))),
@@ -141,7 +142,8 @@ TEST(EstimatorTest, EstimatesTrackActualJoinSizes) {
                                     w.graph, w.catalog);
       ASSERT_TRUE(result.ok());
       const double estimated =
-          w.graph.SubsetCardinality((uint32_t{1} << e.a) | (uint32_t{1} << e.b));
+          w.graph.SubsetCardinality((uint32_t{1} << e.a) |
+                                    (uint32_t{1} << e.b));
       const double actual = std::max<size_t>(result->num_rows(), 1);
       log_error_total += std::abs(std::log(estimated / actual));
       ++joins;

@@ -45,7 +45,8 @@ TEST(GroverSearchTest, QuerySavingsGrowWithN) {
 
 TEST(GroverSearchTest, MultipleMarkedStates) {
   Rng rng(7);
-  CountingOracle oracle([](uint64_t x) { return x % 16 == 3; });  // M = 16 of 256.
+  // M = 16 of 256.
+  CountingOracle oracle([](uint64_t x) { return x % 16 == 3; });
   GroverResult r = GroverSearch(8, &oracle, 16, &rng);
   EXPECT_TRUE(r.found);
   EXPECT_EQ(r.measured % 16, 3u);
@@ -136,7 +137,9 @@ TEST(GroverCircuitTest, GateLevelMatchesFastPath) {
     // Marginal probability of the data register matches the fast path.
     double p_target = 0.0;
     for (uint64_t z = 0; z < gate_state.dimension(); ++z) {
-      if ((z & (size - 1)) == target) p_target += std::norm(gate_state.amplitude(z));
+      if ((z & (size - 1)) == target) {
+        p_target += std::norm(gate_state.amplitude(z));
+      }
     }
     EXPECT_NEAR(p_target, fast.success_probability, 1e-9) << "n=" << n;
   }
@@ -167,7 +170,8 @@ TEST(DurrHoyerTest, FindsGlobalMinimum) {
     const uint64_t planted = static_cast<uint64_t>(rng.UniformInt(0, size - 1));
     f[planted] = -1.0;
 
-    MinimumResult r = DurrHoyerMinimum(n, [&](uint64_t z) { return f[z]; }, &rng);
+    MinimumResult r =
+        DurrHoyerMinimum(n, [&](uint64_t z) { return f[z]; }, &rng);
     if (r.argmin == planted) ++exact_hits;
   }
   EXPECT_GE(exact_hits, 9) << "Durr-Hoyer should locate the planted minimum";
@@ -179,9 +183,11 @@ TEST(DurrHoyerTest, QueryCountScalesAsSqrtN) {
     const uint64_t size = uint64_t{1} << n;
     std::vector<double> f(size);
     for (auto& v : f) v = rng.Uniform(0, 1);
-    MinimumResult r = DurrHoyerMinimum(n, [&](uint64_t z) { return f[z]; }, &rng);
-    EXPECT_LE(r.oracle_queries,
-              static_cast<int64_t>(23.0 * std::sqrt(static_cast<double>(size))) + 64)
+    MinimumResult r =
+        DurrHoyerMinimum(n, [&](uint64_t z) { return f[z]; }, &rng);
+    const auto bound =
+        static_cast<int64_t>(23.0 * std::sqrt(static_cast<double>(size)));
+    EXPECT_LE(r.oracle_queries, bound + 64)
         << "n=" << n;
   }
 }

@@ -32,7 +32,8 @@ TEST(IntegrationTest, WorkloadToChimeraToExecutedPlan) {
   // 16 logical variables embed into Chimera C(4,4,4). The base annealer is
   // fetched from the solver registry and adapted to the Sampler interface
   // for the embedding combinator.
-  auto base_solver = anneal::SolverRegistry::Global().Create("simulated_annealing");
+  auto base_solver =
+      anneal::SolverRegistry::Global().Create("simulated_annealing");
   ASSERT_TRUE(base_solver.ok()) << base_solver.status();
   std::unique_ptr<anneal::Sampler> base =
       anneal::WrapAsSampler(std::move(*base_solver), {.num_sweeps = 1500});
@@ -47,7 +48,8 @@ TEST(IntegrationTest, WorkloadToChimeraToExecutedPlan) {
   ASSERT_TRUE(quantum_result.ok());
 
   db::PlanResult dp = db::OptimalLeftDeepPlan(workload.graph);
-  auto dp_result = db::ExecuteJoinTree(dp.tree, workload.graph, workload.catalog);
+  auto dp_result =
+      db::ExecuteJoinTree(dp.tree, workload.graph, workload.catalog);
   ASSERT_TRUE(dp_result.ok());
 
   EXPECT_EQ(db::TableFingerprint(*quantum_result),

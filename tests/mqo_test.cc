@@ -104,7 +104,8 @@ TEST(MqoBaselinesTest, LocalSearchMatchesExhaustiveOnSmall) {
     MqoSolution exhaustive = ExhaustiveMqo(p);
     MqoSolution local = LocalSearchMqo(p, 4000, &rng);
     EXPECT_LE(exhaustive.cost, local.cost + 1e-9);
-    EXPECT_NEAR(local.cost, exhaustive.cost, std::abs(exhaustive.cost) * 0.05 + 1e-9)
+    EXPECT_NEAR(local.cost, exhaustive.cost,
+                std::abs(exhaustive.cost) * 0.05 + 1e-9)
         << "local search should be near-optimal on 5x3 instances";
   }
 }

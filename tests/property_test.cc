@@ -22,7 +22,8 @@ namespace {
 class SeededProperty : public ::testing::TestWithParam<uint64_t> {};
 
 INSTANTIATE_TEST_SUITE_P(Seeds, SeededProperty,
-                         ::testing::Values(1ull, 7ull, 42ull, 1337ull, 9001ull));
+                         ::testing::Values(1ull, 7ull, 42ull, 1337ull,
+                                           9001ull));
 
 // --- Simulator properties ----------------------------------------------------
 
@@ -104,7 +105,7 @@ TEST_P(SeededProperty, QaoaGateCircuitMatchesDiagonalEvolver) {
   EXPECT_NEAR(gate.FidelityWith(fast), 1.0, 1e-9);
 }
 
-// --- Embedding correctness over random QUBOs ----------------------------------
+// --- Embedding correctness over random QUBOs ---------------------------------
 
 TEST_P(SeededProperty, EmbeddedGroundStateMatchesLogicalGroundState) {
   Rng rng(GetParam());
@@ -123,7 +124,7 @@ TEST_P(SeededProperty, EmbeddedGroundStateMatchesLogicalGroundState) {
   EXPECT_EQ(unembedded.chain_break_fraction, 0.0);
 }
 
-// --- Grover success probability closed form ------------------------------------
+// --- Grover success probability closed form ----------------------------------
 
 TEST_P(SeededProperty, GroverSuccessMatchesSineFormula) {
   Rng rng(GetParam());
@@ -143,7 +144,7 @@ TEST_P(SeededProperty, GroverSuccessMatchesSineFormula) {
               std::pow(std::sin((2 * r.iterations + 1) * theta), 2), 1e-9);
 }
 
-// --- Join-order QUBO energy identity -------------------------------------------
+// --- Join-order QUBO energy identity -----------------------------------------
 
 TEST_P(SeededProperty, JoinOrderQuboEnergyEqualsProxyOnPermutations) {
   Rng rng(GetParam());
@@ -159,7 +160,7 @@ TEST_P(SeededProperty, JoinOrderQuboEnergyEqualsProxyOnPermutations) {
   EXPECT_NEAR(encoding.qubo().Energy(x), qopt::LogCostProxy(order, g), 1e-9);
 }
 
-// --- Werner algebra bounds ------------------------------------------------------
+// --- Werner algebra bounds ---------------------------------------------------
 
 TEST_P(SeededProperty, WernerOperationsStayInPhysicalRange) {
   Rng rng(GetParam());
@@ -191,7 +192,7 @@ TEST_P(SeededProperty, PurificationImprovesAboveOneHalf) {
   }
 }
 
-// --- Exact solver is the true minimum -------------------------------------------
+// --- Exact solver is the true minimum ----------------------------------------
 
 TEST_P(SeededProperty, ExactSolverNeverBeatenBySampling) {
   Rng rng(GetParam());

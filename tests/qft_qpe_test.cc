@@ -101,7 +101,8 @@ TEST(MultiControlledTest, McxTruthTableWithAncillas) {
   const int k = 4;
   const int target = k;
   const int total = k + 1 + circuit::MultiControlledAncillaCount(k);
-  for (uint64_t controls_value = 0; controls_value < (1u << k); ++controls_value) {
+  for (uint64_t controls_value = 0; controls_value < (1u << k);
+       ++controls_value) {
     circuit::Circuit c(total);
     for (int q = 0; q < k; ++q) {
       if ((controls_value >> q) & 1) c.X(q);

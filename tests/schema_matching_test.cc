@@ -113,7 +113,8 @@ TEST(SchemaMatchingEndToEndTest, AnnealerRecoversPlantedMatching) {
   int optimal_count = 0;
   for (int trial = 0; trial < 5; ++trial) {
     SchemaMatchingProblem p = GenerateSchemaMatching(5, 5, 0.05, &rng);
-    Result<Matching> decoded = SolveSchemaMatching(p, "simulated_annealing", options);
+    Result<Matching> decoded =
+        SolveSchemaMatching(p, "simulated_annealing", options);
     ASSERT_TRUE(decoded.ok()) << decoded.status();
     Matching optimal = HungarianMatching(p);
     if (decoded->feasible &&

@@ -88,7 +88,8 @@ void ExpectValidCliqueChains(const HardwareTopology& g, int n) {
         }
       }
     }
-    EXPECT_EQ(visited.size(), chain.size()) << g.name() << ": chain not connected";
+    EXPECT_EQ(visited.size(), chain.size())
+        << g.name() << ": chain not connected";
   }
   for (int i = 0; i < n; ++i) {
     for (int j = i + 1; j < n; ++j) {

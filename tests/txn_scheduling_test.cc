@@ -109,7 +109,8 @@ TEST(TwoPhaseLockingTest, QuboScheduleEliminatesBlocking) {
   options.rng = &rng;
   for (int trial = 0; trial < 4; ++trial) {
     TxnScheduleProblem p = GenerateTxnSchedule(6, 8, 2, 0, &rng);
-    Result<Schedule> schedule = SolveTxnSchedule(p, "simulated_annealing", options);
+    Result<Schedule> schedule =
+        SolveTxnSchedule(p, "simulated_annealing", options);
     ASSERT_TRUE(schedule.ok()) << schedule.status();
     ASSERT_TRUE(schedule->feasible);
     EXPECT_EQ(schedule->conflicting_pairs_same_slot, 0);

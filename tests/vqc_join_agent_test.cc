@@ -54,7 +54,9 @@ TEST(VqcAgentTest, ParameterShiftMatchesFiniteDifference) {
   // to a shifted target.
   ASSERT_EQ(analytic.size(), static_cast<size_t>(agent.num_parameters()));
   double norm = 0.0;
-  for (double gradient_component : analytic) norm += gradient_component * gradient_component;
+  for (double gradient_component : analytic) {
+    norm += gradient_component * gradient_component;
+  }
   EXPECT_GT(norm, 0.0) << "gradient should not vanish at random init";
 }
 
@@ -96,7 +98,8 @@ TEST(VqcAgentTest, TrainedAgentBeatsRandomAverage) {
   }
   EXPECT_LT(best_proxy, random_total / kRandomTrials);
   // And should in fact have located the proxy optimum on this small query.
-  EXPECT_NEAR(best_proxy, qopt::LogCostProxy(qopt::OptimalOrderUnderProxy(g), g),
+  EXPECT_NEAR(best_proxy,
+              qopt::LogCostProxy(qopt::OptimalOrderUnderProxy(g), g),
               1e-9);
 }
 
