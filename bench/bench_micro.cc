@@ -5,6 +5,9 @@
 
 #include <benchmark/benchmark.h>
 
+#include <utility>
+#include <vector>
+
 #include "qdm/anneal/solver.h"
 #include "qdm/circuit/circuit.h"
 #include "qdm/common/rng.h"
@@ -141,6 +144,90 @@ BENCHMARK(BM_DiagonalPhaseThreads)
     ->Arg(8)
     ->UseRealTime();
 
+// Thread x SIMD sweeps over the controlled-phase and swap kernels ("t" is
+// the thread count, "simd" 0/1 forces SimdMode::kScalar / kSimd). These are
+// the remaining two hot-kernel families (the QAOA cost layers of compiled
+// circuits use controlled phases; qubit routing uses swaps); the sweep rows
+// let the perf gate see both the thread scaling and the vector speedup of
+// each, and every row first asserts bit-identity against the serial scalar
+// reference on a random state — the SIMD contract, measured where it is
+// claimed.
+qdm::sim::Statevector RandomBenchState(int n, uint64_t seed) {
+  qdm::Rng rng(seed);
+  std::vector<qdm::Complex> amps(uint64_t{1} << n);
+  for (qdm::Complex& a : amps) {
+    a = qdm::Complex(rng.Uniform(-1, 1), rng.Uniform(-1, 1));
+  }
+  return qdm::sim::Statevector::FromAmplitudes(std::move(amps),
+                                               /*normalize=*/true);
+}
+
+void BM_ControlledPhaseThreads(benchmark::State& state) {
+  const int n = 20;
+  const int threads = static_cast<int>(state.range(0));
+  const qdm::sim::SimdMode simd = state.range(1) != 0
+                                      ? qdm::sim::SimdMode::kSimd
+                                      : qdm::sim::SimdMode::kScalar;
+  const qdm::sim::ExecutionConfig config{threads, /*serial_cutoff=*/2, simd};
+  const qdm::linalg::Matrix rz =
+      qdm::circuit::SingleQubitMatrix(qdm::circuit::GateKind::kRZ, {0.37});
+  const std::vector<int> controls = {3, 17};
+  const int target = 11;
+  {
+    qdm::sim::Statevector serial = RandomBenchState(n, 0xCAFE);
+    qdm::sim::Statevector swept = serial;
+    serial.set_execution_config({1, 2, qdm::sim::SimdMode::kScalar});
+    swept.set_execution_config(config);
+    serial.ApplyControlled1Q(controls, target, rz);
+    swept.ApplyControlled1Q(controls, target, rz);
+    QDM_CHECK(serial.amplitudes() == swept.amplitudes())
+        << "ApplyControlled1Q diverged from the serial scalar kernel";
+  }
+  qdm::sim::Statevector sv = RandomBenchState(n, 0xCAFE);
+  sv.set_execution_config(config);
+  for (auto _ : state) {
+    sv.ApplyControlled1Q(controls, target, rz);
+    benchmark::DoNotOptimize(sv.amplitudes().data());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(uint64_t{1} << n));
+}
+BENCHMARK(BM_ControlledPhaseThreads)
+    ->ArgsProduct({{1, 2, 4, 8}, {0, 1}})
+    ->ArgNames({"t", "simd"})
+    ->UseRealTime();
+
+void BM_SwapThreads(benchmark::State& state) {
+  const int n = 20;
+  const int threads = static_cast<int>(state.range(0));
+  const qdm::sim::SimdMode simd = state.range(1) != 0
+                                      ? qdm::sim::SimdMode::kSimd
+                                      : qdm::sim::SimdMode::kScalar;
+  const qdm::sim::ExecutionConfig config{threads, /*serial_cutoff=*/2, simd};
+  {
+    qdm::sim::Statevector serial = RandomBenchState(n, 0xBEEF);
+    qdm::sim::Statevector swept = serial;
+    serial.set_execution_config({1, 2, qdm::sim::SimdMode::kScalar});
+    swept.set_execution_config(config);
+    serial.ApplySwap(2, 18);
+    swept.ApplySwap(2, 18);
+    QDM_CHECK(serial.amplitudes() == swept.amplitudes())
+        << "ApplySwap diverged from the serial scalar kernel";
+  }
+  qdm::sim::Statevector sv = RandomBenchState(n, 0xBEEF);
+  sv.set_execution_config(config);
+  for (auto _ : state) {
+    sv.ApplySwap(2, 18);
+    benchmark::DoNotOptimize(sv.amplitudes().data());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(uint64_t{1} << n));
+}
+BENCHMARK(BM_SwapThreads)
+    ->ArgsProduct({{1, 2, 4, 8}, {0, 1}})
+    ->ArgNames({"t", "simd"})
+    ->UseRealTime();
+
 void BM_CnotLadder(benchmark::State& state) {
   const int n = static_cast<int>(state.range(0));
   qdm::circuit::Circuit c(n);
@@ -216,4 +303,17 @@ BENCHMARK(BM_HashJoinExecution);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+// Custom main so the report carries the SIMD tier the binary actually
+// selected (CMake option + CPUID + QDM_SIMD env): the perf-gate CI step logs
+// context.qdm_simd_tier next to the numbers, so a regression caused by a
+// dispatch change (e.g. the runner losing AVX2) is visible at a glance.
+int main(int argc, char** argv) {
+  benchmark::AddCustomContext(
+      "qdm_simd_tier",
+      qdm::sim::simd::TierName(qdm::sim::simd::DetectedTier()));
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -6,6 +6,7 @@
 
 #include "qdm/common/strings.h"
 #include "qdm/common/thread_pool.h"
+#include "qdm/sim/simd.h"
 
 namespace qdm {
 namespace sim {
@@ -28,6 +29,17 @@ int Log2(size_t n) {
 // callers set at startup or around a test scope, never mid-kernel.
 std::atomic<int> g_default_num_threads{0};
 std::atomic<uint64_t> g_default_serial_cutoff{0};
+std::atomic<int> g_default_simd_mode{0};
+
+// Re-inserts a zero bit at position `pos` into the compact index `p`: bits
+// [0, pos) map through unchanged, bits >= pos shift up by one. Composing
+// ascending positions maps a compact pair index onto the basis index with
+// those bits held at zero — the swap kernels enumerate each amplitude pair
+// exactly once this way, in runs of 2^lowest_position contiguous indices.
+inline uint64_t InsertZeroBit(uint64_t p, int pos) {
+  const uint64_t low = p & ((uint64_t{1} << pos) - 1);
+  return ((p >> pos) << (pos + 1)) | low;
+}
 
 // Serial halves of the pair kernels, hoisted into standalone functions so
 // their codegen stays isolated from the lambda-bearing parallel branches:
@@ -66,12 +78,16 @@ void Statevector::SetDefaultExecutionConfig(const ExecutionConfig& config) {
   g_default_num_threads.store(config.num_threads, std::memory_order_relaxed);
   g_default_serial_cutoff.store(config.serial_cutoff,
                                 std::memory_order_relaxed);
+  g_default_simd_mode.store(static_cast<int>(config.simd),
+                            std::memory_order_relaxed);
 }
 
 ExecutionConfig Statevector::DefaultExecutionConfig() {
   return ExecutionConfig{
       g_default_num_threads.load(std::memory_order_relaxed),
-      g_default_serial_cutoff.load(std::memory_order_relaxed)};
+      g_default_serial_cutoff.load(std::memory_order_relaxed),
+      static_cast<SimdMode>(
+          g_default_simd_mode.load(std::memory_order_relaxed))};
 }
 
 int Statevector::ResolvedNumThreads() const {
@@ -90,6 +106,23 @@ uint64_t Statevector::ResolvedSerialCutoff() const {
   }
   if (cutoff == 0) cutoff = kDefaultSerialCutoff;
   return cutoff;
+}
+
+simd::Tier Statevector::ResolvedSimdTier() const {
+  SimdMode mode = execution_config_.simd;
+  if (mode == SimdMode::kAuto) {
+    mode = static_cast<SimdMode>(
+        g_default_simd_mode.load(std::memory_order_relaxed));
+  }
+  if (mode == SimdMode::kScalar) return simd::Tier::kScalar;
+  // kAuto and kSimd both mean "best available": kSimd is the explicit
+  // request form (tests, benches), and it still degrades to scalar when the
+  // build, the CPU, or QDM_SIMD=off rules the vector tier out.
+  return simd::DetectedTier();
+}
+
+bool Statevector::UseSimdKernels() const {
+  return ResolvedSimdTier() != simd::Tier::kScalar;
 }
 
 bool Statevector::UseSerialKernel() const {
@@ -139,8 +172,25 @@ void Statevector::Apply1Q(const linalg::Matrix& u, int q) {
   QDM_CHECK(q >= 0 && q < num_qubits_);
   const size_t step = size_t{1} << q;
   const Complex u00 = u(0, 0), u01 = u(0, 1), u10 = u(1, 0), u11 = u(1, 1);
+  const bool use_simd = UseSimdKernels();
+  Complex* amp = amplitudes_.data();
   if (UseSerialKernel()) {
-    SerialApply1Q(amplitudes_, step, u00, u01, u10, u11);
+    if (!use_simd) {
+      SerialApply1Q(amplitudes_, step, u00, u01, u10, u11);
+      return;
+    }
+    // Serial + SIMD. q = 0 pairs are adjacent in memory (length-1 runs
+    // would waste the vector width), so they take the interleaved-pair
+    // kernel; every other target walks one aligned full run per group.
+    if (step == 1) {
+      simd::Apply1QPairsRunAvx2(amp, amplitudes_.size() >> 1, u00, u01, u10,
+                                u11);
+      return;
+    }
+    for (size_t group = 0; group < amplitudes_.size(); group += 2 * step) {
+      simd::Apply1QRunAvx2(amp + group, amp + group + step, step, u00, u01,
+                           u10, u11);
+    }
     return;
   }
   // Parallel branch: pair p enumerates the amplitude pairs (i, i + step)
@@ -148,12 +198,25 @@ void Statevector::Apply1Q(const linalg::Matrix& u, int q) {
   // pair range never share an element. Each chunk is walked as leading
   // partial group / full groups / trailing partial group to keep the inner
   // loops contiguous. Identical arithmetic per pair -> bit-identical to the
-  // serial branch (pinned by statevector_parallel_test).
+  // serial branch (pinned by statevector_parallel_test). For q = 0 a chunk
+  // of the pair range IS a contiguous amplitude range, so the SIMD path
+  // hands whole chunks to the interleaved-pair kernel.
+  if (use_simd && step == 1) {
+    RunChunksParallel(amplitudes_.size() >> 1,
+                      [&](uint64_t begin, uint64_t end) {
+                        simd::Apply1QPairsRunAvx2(amp + 2 * begin, end - begin,
+                                                  u00, u01, u10, u11);
+                      });
+    return;
+  }
   const uint64_t low_mask = step - 1;
-  Complex* amp = amplitudes_.data();
   const auto apply_run = [&](uint64_t pair, uint64_t run) {
     Complex* lo = amp + (((pair & ~low_mask) << 1) | (pair & low_mask));
     Complex* hi = lo + step;
+    if (use_simd) {
+      simd::Apply1QRunAvx2(lo, hi, run, u00, u01, u10, u11);
+      return;
+    }
     for (uint64_t k = 0; k < run; ++k) {
       const Complex a0 = lo[k];
       const Complex a1 = hi[k];
@@ -185,21 +248,72 @@ void Statevector::ApplyControlled1Q(const std::vector<int>& controls,
   }
   const size_t step = size_t{1} << target;
   const Complex u00 = u(0, 0), u01 = u(0, 1), u10 = u(1, 0), u11 = u(1, 1);
+  const bool use_simd = UseSimdKernels();
+  // Split the control mask at the target: every index in a contiguous run
+  // shares its bits >= target (runs never cross a group boundary), so the
+  // above-target controls are tested ONCE per run — a failing run (the
+  // common case for multi-controlled Grover/QPE gates) retires in one
+  // compare instead of `run` element tests. Only below-target control bits
+  // still vary inside a run; when there are none, the run body is the
+  // unconditional Apply1Q arithmetic (and vectorizable).
+  const uint64_t low_ctrl = control_mask & (step - 1);
+  const uint64_t high_ctrl = control_mask & ~(step - 1);
+  Complex* amp = amplitudes_.data();
   if (UseSerialKernel()) {
-    SerialApplyControlled1Q(amplitudes_, step, control_mask, u00, u01, u10,
-                            u11);
+    if (!use_simd) {
+      SerialApplyControlled1Q(amplitudes_, step, control_mask, u00, u01, u10,
+                              u11);
+      return;
+    }
+    // Serial + SIMD: group-skip walk; unconditional groups take the vector
+    // kernel (step 1 has no contiguous runs to vectorize — reference loop).
+    if (step == 1) {
+      SerialApplyControlled1Q(amplitudes_, step, control_mask, u00, u01, u10,
+                              u11);
+      return;
+    }
+    for (size_t group = 0; group < amplitudes_.size(); group += 2 * step) {
+      if ((group & high_ctrl) != high_ctrl) continue;
+      if (low_ctrl == 0) {
+        simd::Apply1QRunAvx2(amp + group, amp + group + step, step, u00, u01,
+                             u10, u11);
+        continue;
+      }
+      for (size_t i = group; i < group + step; ++i) {
+        if ((i & low_ctrl) != low_ctrl) continue;
+        const Complex a0 = amp[i];
+        const Complex a1 = amp[i + step];
+        amp[i] = u00 * a0 + u01 * a1;
+        amp[i + step] = u10 * a0 + u11 * a1;
+      }
+    }
     return;
   }
-  // Parallel branch: same partial/full/partial group walk as Apply1Q; the
-  // control mask (which excludes the target bit) is tested on the lower
-  // pair index i.
+  // Parallel branch: same partial/full/partial group walk as Apply1Q with
+  // the per-run control split above; the control mask excludes the target
+  // bit, so testing the run base covers every element of the run.
   const uint64_t low_mask = step - 1;
-  Complex* amp = amplitudes_.data();
   const auto apply_run = [&](uint64_t pair, uint64_t run) {
     const uint64_t base = ((pair & ~low_mask) << 1) | (pair & low_mask);
+    if ((base & high_ctrl) != high_ctrl) return;
+    if (low_ctrl == 0) {
+      if (use_simd && step > 1) {
+        simd::Apply1QRunAvx2(amp + base, amp + base + step, run, u00, u01,
+                             u10, u11);
+        return;
+      }
+      for (uint64_t k = 0; k < run; ++k) {
+        const uint64_t i = base + k;
+        const Complex a0 = amp[i];
+        const Complex a1 = amp[i + step];
+        amp[i] = u00 * a0 + u01 * a1;
+        amp[i + step] = u10 * a0 + u11 * a1;
+      }
+      return;
+    }
     for (uint64_t k = 0; k < run; ++k) {
       const uint64_t i = base + k;
-      if ((i & control_mask) != control_mask) continue;
+      if ((i & low_ctrl) != low_ctrl) continue;
       const Complex a0 = amp[i];
       const Complex a1 = amp[i + step];
       amp[i] = u00 * a0 + u01 * a1;
@@ -222,6 +336,41 @@ void Statevector::ApplySwap(int a, int b) {
   QDM_CHECK(a >= 0 && a < num_qubits_ && b >= 0 && b < num_qubits_ && a != b);
   const uint64_t bit_a = uint64_t{1} << a;
   const uint64_t bit_b = uint64_t{1} << b;
+  // SIMD path: enumerate each mismatched pair once through a compact pair
+  // index (both swap bits deleted), which turns the predicated full scan
+  // into gap-free runs of 2^min(a,b) contiguous indices — the block at
+  // base|bit_a exchanges with the disjoint block at base|bit_b via wide
+  // moves. Pure data movement, so any enumeration that touches each pair
+  // exactly once is bit-identical; chunks partition the pair range, so no
+  // two workers touch the same pair. Runs shorter than the vector width
+  // (min(a, b) = 0) stay on the scalar scan below.
+  if (UseSimdKernels() && std::min(a, b) >= 1) {
+    const int lo_q = std::min(a, b);
+    const int hi_q = std::max(a, b);
+    const uint64_t run = uint64_t{1} << lo_q;
+    const uint64_t pairs = amplitudes_.size() >> 2;
+    Complex* amp = amplitudes_.data();
+    const auto swap_run = [&](uint64_t pair, uint64_t len) {
+      const uint64_t base = InsertZeroBit(InsertZeroBit(pair, lo_q), hi_q);
+      simd::SwapRunAvx2(amp + (base | bit_a), amp + (base | bit_b), len);
+    };
+    if (UseSerialKernel()) {
+      for (uint64_t p = 0; p < pairs; p += run) swap_run(p, run);
+      return;
+    }
+    const uint64_t low_mask = run - 1;
+    RunChunksParallel(pairs, [&](uint64_t begin, uint64_t end) {
+      uint64_t p = begin;
+      if ((p & low_mask) != 0) {  // Leading partial run.
+        const uint64_t len = std::min(run - (p & low_mask), end - p);
+        swap_run(p, len);
+        p += len;
+      }
+      for (; p + run <= end; p += run) swap_run(p, run);  // Full runs.
+      if (p < end) swap_run(p, end - p);  // Trailing partial run.
+    });
+    return;
+  }
   // Visit each mismatched pair once, keyed by the index with the a-bit set
   // and the b-bit clear. The partner j fails that predicate, so even when j
   // falls in another worker's chunk only the chunk owning i touches the
@@ -248,9 +397,43 @@ void Statevector::ApplySwap(int a, int b) {
 
 void Statevector::ApplyControlledSwap(int control, int a, int b) {
   QDM_CHECK(control != a && control != b);
+  if (a == b) return;  // Degenerate swap: the scan predicate never matches.
   const uint64_t bit_c = uint64_t{1} << control;
   const uint64_t bit_a = uint64_t{1} << a;
   const uint64_t bit_b = uint64_t{1} << b;
+  // SIMD path: same compact-pair-index enumeration as ApplySwap, with the
+  // control bit held at 1 as well (three deleted bits), in runs of
+  // 2^min(control, a, b) contiguous indices.
+  const int min_q = std::min(control, std::min(a, b));
+  if (UseSimdKernels() && min_q >= 1) {
+    int sorted[3] = {control, a, b};
+    std::sort(sorted, sorted + 3);
+    const uint64_t run = uint64_t{1} << min_q;
+    const uint64_t pairs = amplitudes_.size() >> 3;
+    Complex* amp = amplitudes_.data();
+    const auto swap_run = [&](uint64_t pair, uint64_t len) {
+      const uint64_t base = InsertZeroBit(
+          InsertZeroBit(InsertZeroBit(pair, sorted[0]), sorted[1]), sorted[2]);
+      simd::SwapRunAvx2(amp + (base | bit_c | bit_a),
+                        amp + (base | bit_c | bit_b), len);
+    };
+    if (UseSerialKernel()) {
+      for (uint64_t p = 0; p < pairs; p += run) swap_run(p, run);
+      return;
+    }
+    const uint64_t low_mask = run - 1;
+    RunChunksParallel(pairs, [&](uint64_t begin, uint64_t end) {
+      uint64_t p = begin;
+      if ((p & low_mask) != 0) {  // Leading partial run.
+        const uint64_t len = std::min(run - (p & low_mask), end - p);
+        swap_run(p, len);
+        p += len;
+      }
+      for (; p + run <= end; p += run) swap_run(p, run);  // Full runs.
+      if (p < end) swap_run(p, end - p);  // Trailing partial run.
+    });
+    return;
+  }
   // Same pair-ownership argument as ApplySwap: the partner j shares the
   // control bit but has the a-bit clear, so no other chunk touches it.
   if (UseSerialKernel()) {
@@ -275,13 +458,35 @@ void Statevector::ApplyControlledSwap(int control, int a, int b) {
 
 void Statevector::ApplyDiagonalPhase(
     const std::function<double(uint64_t)>& phase) {
+  const bool use_simd = UseSimdKernels();
+  Complex* amp = amplitudes_.data();
+  if (use_simd) {
+    // The std::function stays a scalar call per z either way; staging its
+    // results through a small block buffer lets the complex multiplies run
+    // on vector lanes. scale = 1.0 is exact (1.0 * t == t bitwise), so this
+    // matches the direct polar(1.0, phase(z)) loop bit-for-bit.
+    constexpr uint64_t kBlock = 128;
+    const auto apply_block = [&](uint64_t begin, uint64_t end) {
+      double staged[kBlock];
+      for (uint64_t z0 = begin; z0 < end; z0 += kBlock) {
+        const uint64_t len = std::min(kBlock, end - z0);
+        for (uint64_t k = 0; k < len; ++k) staged[k] = phase(z0 + k);
+        simd::DiagonalPhaseRunAvx2(amp + z0, staged, 1.0, len);
+      }
+    };
+    if (UseSerialKernel()) {
+      apply_block(0, amplitudes_.size());
+    } else {
+      RunChunksParallel(amplitudes_.size(), apply_block);
+    }
+    return;
+  }
   if (UseSerialKernel()) {
     for (size_t z = 0; z < amplitudes_.size(); ++z) {
       amplitudes_[z] *= std::polar(1.0, phase(z));
     }
     return;
   }
-  Complex* amp = amplitudes_.data();
   RunChunksParallel(amplitudes_.size(), [&](uint64_t begin, uint64_t end) {
     for (uint64_t z = begin; z < end; ++z) {
       amp[z] *= std::polar(1.0, phase(z));
@@ -296,6 +501,17 @@ void Statevector::ApplyDiagonalPhase(const std::vector<double>& phases,
       << " must equal the state dimension " << amplitudes_.size();
   const double* phase = phases.data();
   Complex* amp = amplitudes_.data();
+  if (UseSimdKernels()) {
+    if (UseSerialKernel()) {
+      simd::DiagonalPhaseRunAvx2(amp, phase, scale, amplitudes_.size());
+      return;
+    }
+    RunChunksParallel(amplitudes_.size(), [&](uint64_t begin, uint64_t end) {
+      simd::DiagonalPhaseRunAvx2(amp + begin, phase + begin, scale,
+                                 end - begin);
+    });
+    return;
+  }
   if (UseSerialKernel()) {
     const size_t dim = amplitudes_.size();
     for (size_t z = 0; z < dim; ++z) {

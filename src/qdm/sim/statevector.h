@@ -11,6 +11,7 @@
 #include "qdm/circuit/circuit.h"
 #include "qdm/common/rng.h"
 #include "qdm/linalg/matrix.h"
+#include "qdm/sim/simd.h"
 
 namespace qdm {
 namespace sim {
@@ -30,15 +31,27 @@ namespace sim {
 ///                  Statevector::kDefaultSerialCutoff. States whose
 ///                  dimension() is below the resolved cutoff always run the
 ///                  serial kernels, so small states pay no fan-out overhead.
+///   simd           kAuto (0) = defer; resolved default is the best tier
+///                  the build + CPU support (simd::DetectedTier, which also
+///                  honors the QDM_SIMD=off environment override). kScalar
+///                  forces the reference scalar inner loops; kSimd requests
+///                  vector inner loops and falls back to scalar when no
+///                  tier is available. Orthogonal to num_threads: serial
+///                  and chunk-parallel kernels both dispatch their inner
+///                  runs through the resolved tier.
 ///
 /// Determinism: the parallel kernels partition the amplitude array into
 /// contiguous chunks of independent elementwise/pairwise updates — no
 /// reductions are reordered — so results are bit-identical to the serial
 /// kernels at every thread count (the kernel-level extension of the batch
-/// layer's `seed + index` guarantee; see docs/batching.md).
+/// layer's `seed + index` guarantee; see docs/batching.md). The SIMD tiers
+/// preserve the same contract: every vector lane performs the exact scalar
+/// multiply/add sequence (unfused, unreassociated), so amplitudes are
+/// bit-identical across {scalar, avx2} x any thread count.
 struct ExecutionConfig {
   int num_threads = 0;
   uint64_t serial_cutoff = 0;
+  SimdMode simd = SimdMode::kAuto;
 };
 
 /// Dense state-vector simulator state over `num_qubits` qubits.
@@ -81,6 +94,12 @@ class Statevector {
   /// instance -> process default -> built-in resolution.
   int ResolvedNumThreads() const;
   uint64_t ResolvedSerialCutoff() const;
+
+  /// The SIMD tier the kernel inner loops will actually dispatch to after
+  /// the instance -> process default -> detection resolution: Tier::kScalar
+  /// when the resolved mode is SimdMode::kScalar (or nothing better is
+  /// available), simd::DetectedTier() otherwise.
+  simd::Tier ResolvedSimdTier() const;
 
   int num_qubits() const { return num_qubits_; }
   size_t dimension() const { return amplitudes_.size(); }
@@ -171,6 +190,10 @@ class Statevector {
   /// vectorizes that form best) and pairs it with a chunked parallel branch
   /// proven bit-identical by statevector_parallel_test.
   bool UseSerialKernel() const;
+
+  /// True when the kernel inner loops should dispatch to the vector run
+  /// primitives (sim::simd) instead of the scalar reference loops.
+  bool UseSimdKernels() const;
 
   /// Kernel fan-out seam: runs body(begin, end) over a partition of [0, n)
   /// into contiguous chunks dispatched over the process-wide

@@ -1,9 +1,10 @@
 // Property-style parity tests at the APPLICATION level: every gate-based
 // entry point (QAOA join ordering, Grover minimum finding, QPE) must return
-// identical results whether the statevector kernels run on 1 thread or 8.
-// The kernels are bit-identical by construction (statevector_parallel_test
-// pins that), so parallelism can never silently change a SampleSet, an
-// energy, or a phase estimate — this suite guards the end-to-end claim.
+// identical results whether the statevector kernels run on 1 thread or 8,
+// and whether the SIMD tier is on or off. The kernels are bit-identical by
+// construction (statevector_parallel_test pins that), so neither parallelism
+// nor vectorization can silently change a SampleSet, an energy, or a phase
+// estimate — this suite guards the end-to-end claim.
 
 #include <gtest/gtest.h>
 
@@ -25,10 +26,11 @@ namespace {
 /// the parallel path even on the small states these tests use.
 class ScopedDefaultExecutionConfig {
  public:
-  explicit ScopedDefaultExecutionConfig(int num_threads)
+  explicit ScopedDefaultExecutionConfig(
+      int num_threads, sim::SimdMode simd = sim::SimdMode::kAuto)
       : previous_(sim::Statevector::DefaultExecutionConfig()) {
     sim::Statevector::SetDefaultExecutionConfig(
-        sim::ExecutionConfig{num_threads, /*serial_cutoff=*/1});
+        sim::ExecutionConfig{num_threads, /*serial_cutoff=*/1, simd});
   }
   ~ScopedDefaultExecutionConfig() {
     sim::Statevector::SetDefaultExecutionConfig(previous_);
@@ -109,6 +111,35 @@ TEST(AlgoParallelParityTest, QaoaSolverSampleSetsIdenticalAt1And8Threads) {
     parallel = *result;
   }
   ExpectIdenticalSampleSets(serial, parallel);
+}
+
+// The SIMD axis of the same guarantee: a full QAOA solve (cost layers via
+// ApplyDiagonalPhase, mixer layers via Apply1Q, then sampling) must produce
+// an identical SampleSet with the vector tier forced on vs forced off. On
+// machines without a vector tier kSimd degrades to scalar and the test is
+// trivially green.
+TEST(AlgoParallelParityTest, QaoaSampleSetsIdenticalWithSimdOnAndOff) {
+  const anneal::Qubo qubo = SmallQubo(6, 11);
+  anneal::SolverOptions options;
+  options.num_reads = 10;
+  options.seed = 7;
+  options.layers = 2;
+  options.restarts = 2;
+
+  anneal::SampleSet scalar, simd;
+  {
+    ScopedDefaultExecutionConfig scoped(8, sim::SimdMode::kScalar);
+    auto result = anneal::SolveWith("qaoa", qubo, options);
+    ASSERT_TRUE(result.ok()) << result.status();
+    scalar = *result;
+  }
+  {
+    ScopedDefaultExecutionConfig scoped(8, sim::SimdMode::kSimd);
+    auto result = anneal::SolveWith("qaoa", qubo, options);
+    ASSERT_TRUE(result.ok()) << result.status();
+    simd = *result;
+  }
+  ExpectIdenticalSampleSets(scalar, simd);
 }
 
 TEST(AlgoParallelParityTest, GroverMinSampleSetsIdenticalAt1And8Threads) {

@@ -1,8 +1,13 @@
-// Serial/parallel parity tests for the Statevector gate kernels: every
-// kernel must produce BIT-IDENTICAL amplitudes at any thread count (the
-// kernel-level extension of the batch layer's determinism guarantee). The
-// kernels are pure elementwise/pairwise updates over disjoint chunks, so
-// parity here is exact equality (memcmp), not a tolerance.
+// Serial/parallel/SIMD parity tests for the Statevector gate kernels: every
+// kernel must produce BIT-IDENTICAL amplitudes at any thread count AND under
+// any SIMD tier (the kernel-level extension of the batch layer's determinism
+// guarantee). The kernels are pure elementwise/pairwise updates over
+// disjoint chunks whose vector lanes perform the exact scalar operation
+// sequence, so parity here is exact equality (memcmp), not a tolerance. The
+// reference in every check is the serial (1-thread) scalar kernel; the
+// matrix sweeps {scalar, simd} x {1, 2, 8} threads against it. On builds or
+// machines without a vector tier, SimdMode::kSimd degrades to scalar and
+// the matrix still runs (trivially green on the simd axis).
 
 #include <gtest/gtest.h>
 
@@ -24,16 +29,25 @@ using circuit::Circuit;
 using circuit::GateKind;
 using circuit::SingleQubitMatrix;
 
-constexpr int kThreadCounts[] = {2, 4, 8};
+constexpr int kThreadCounts[] = {1, 2, 8};
+constexpr SimdMode kSimdModes[] = {SimdMode::kScalar, SimdMode::kSimd};
 
 /// serial_cutoff 1: dimension() is never below it, so every kernel call
 /// takes the parallel path even on 1-qubit states.
 constexpr uint64_t kAlwaysParallel = 1;
 
-ExecutionConfig SerialConfig() { return ExecutionConfig{1, kAlwaysParallel}; }
+/// The parity reference: strictly serial scalar kernels.
+ExecutionConfig SerialConfig() {
+  return ExecutionConfig{1, kAlwaysParallel, SimdMode::kScalar};
+}
 
-ExecutionConfig ParallelConfig(int threads) {
-  return ExecutionConfig{threads, kAlwaysParallel};
+ExecutionConfig ParallelConfig(int threads,
+                               SimdMode simd = SimdMode::kScalar) {
+  return ExecutionConfig{threads, kAlwaysParallel, simd};
+}
+
+const char* SimdModeName(SimdMode mode) {
+  return mode == SimdMode::kSimd ? "simd" : "scalar";
 }
 
 /// Sets the process-wide default config for one scope, restoring the
@@ -71,7 +85,8 @@ void ExpectBitIdentical(const Statevector& serial, const Statevector& parallel,
 }
 
 /// Applies `kernel` to copies of the same random state under the serial
-/// config and under every parallel thread count, asserting exact equality.
+/// scalar reference config and under the full {scalar, simd} x {1, 2, 8}
+/// thread matrix, asserting exact equality against the reference.
 void CheckKernelParity(int num_qubits,
                        const std::function<void(Statevector*)>& kernel,
                        const std::string& context) {
@@ -82,12 +97,15 @@ void CheckKernelParity(int num_qubits,
   serial.set_execution_config(SerialConfig());
   kernel(&serial);
 
-  for (int threads : kThreadCounts) {
-    Statevector parallel = initial;
-    parallel.set_execution_config(ParallelConfig(threads));
-    kernel(&parallel);
-    ExpectBitIdentical(serial, parallel,
-                       context + " @ " + std::to_string(threads) + " threads");
+  for (SimdMode mode : kSimdModes) {
+    for (int threads : kThreadCounts) {
+      Statevector parallel = initial;
+      parallel.set_execution_config(ParallelConfig(threads, mode));
+      kernel(&parallel);
+      ExpectBitIdentical(serial, parallel,
+                         context + " @ " + std::to_string(threads) +
+                             " threads / " + SimdModeName(mode));
+    }
   }
 }
 
@@ -194,13 +212,16 @@ TEST(StatevectorParallelTest, RandomCircuitParity) {
     Statevector serial(n);
     serial.set_execution_config(SerialConfig());
     serial.ApplyCircuit(c);
-    for (int threads : kThreadCounts) {
-      Statevector parallel(n);
-      parallel.set_execution_config(ParallelConfig(threads));
-      parallel.ApplyCircuit(c);
-      ExpectBitIdentical(serial, parallel,
-                         "random circuit n=" + std::to_string(n) + " @ " +
-                             std::to_string(threads) + " threads");
+    for (SimdMode mode : kSimdModes) {
+      for (int threads : kThreadCounts) {
+        Statevector parallel(n);
+        parallel.set_execution_config(ParallelConfig(threads, mode));
+        parallel.ApplyCircuit(c);
+        ExpectBitIdentical(serial, parallel,
+                           "random circuit n=" + std::to_string(n) + " @ " +
+                               std::to_string(threads) + " threads / " +
+                               SimdModeName(mode));
+      }
     }
   }
 }
@@ -265,6 +286,82 @@ TEST(StatevectorParallelTest, GlobalDefaultConfigReachesInternalStates) {
   ScopedDefaultExecutionConfig scoped(ParallelConfig(8));
   const Statevector via_global = RunCircuit(c);
   ExpectBitIdentical(serial, via_global, "RunCircuit under global config");
+}
+
+// Unaligned / odd-step coverage for the SIMD inner runs: q = 0 (interleaved
+// pairs, no contiguous runs), q = 1 (runs exactly one vector width), and
+// q = n-1 (one group that every chunk slices), swept with thread counts
+// that do NOT divide the pair range evenly, so chunks start and end on
+// leading/trailing partial runs shorter than one vector width.
+TEST(StatevectorParallelTest, SimdPartialRunsAndOddChunkBoundaries) {
+  const linalg::Matrix u = SingleQubitMatrix(GateKind::kU3, {0.7, 0.3, 1.1});
+  const linalg::Matrix x = SingleQubitMatrix(GateKind::kX, {});
+  for (int n : {3, 5, 9}) {
+    for (int q : {0, 1, n - 1}) {
+      CheckKernelParity(
+          n, [&](Statevector* sv) { sv->Apply1Q(u, q); },
+          "odd-step Apply1Q n=" + std::to_string(n) + " q=" +
+              std::to_string(q));
+      for (int threads : {3, 5, 7}) {
+        Rng rng(0xABC + n * 16 + q);
+        const Statevector initial = RandomState(n, &rng);
+        Statevector reference = initial;
+        reference.set_execution_config(SerialConfig());
+        reference.Apply1Q(u, q);
+        for (SimdMode mode : kSimdModes) {
+          Statevector sv = initial;
+          sv.set_execution_config(ParallelConfig(threads, mode));
+          sv.Apply1Q(u, q);
+          ExpectBitIdentical(reference, sv,
+                             "odd-chunk Apply1Q n=" + std::to_string(n) +
+                                 " q=" + std::to_string(q) + " @ " +
+                                 std::to_string(threads) + " threads / " +
+                                 SimdModeName(mode));
+        }
+      }
+    }
+    // Controls straddling the target exercise the above-target group skip
+    // plus the below-target per-element mask on the same gate.
+    CheckKernelParity(
+        n,
+        [&](Statevector* sv) { sv->ApplyControlled1Q({0, n - 1}, n / 2, x); },
+        "straddling controls n=" + std::to_string(n));
+    if (n >= 3) {
+      CheckKernelParity(
+          n, [&](Statevector* sv) { sv->ApplySwap(1, n - 1); },
+          "odd-step Swap(1, highest) n=" + std::to_string(n));
+    }
+  }
+}
+
+// ExecutionConfig::simd resolves instance -> process default -> detection,
+// and SimdMode::kScalar always lands on the scalar tier.
+TEST(StatevectorParallelTest, SimdResolutionInstanceThenGlobalThenDetected) {
+  Statevector sv(2);
+  // Built-in default (kAuto all the way down) = whatever the build+CPU+env
+  // detection reports.
+  EXPECT_EQ(sv.ResolvedSimdTier(), simd::DetectedTier());
+  sv.set_execution_config(ExecutionConfig{1, 1, SimdMode::kScalar});
+  EXPECT_EQ(sv.ResolvedSimdTier(), simd::Tier::kScalar);
+  sv.set_execution_config(ExecutionConfig{1, 1, SimdMode::kSimd});
+  EXPECT_EQ(sv.ResolvedSimdTier(), simd::DetectedTier());
+  sv.set_execution_config(ExecutionConfig{});
+  {
+    ScopedDefaultExecutionConfig scoped(
+        ExecutionConfig{0, 0, SimdMode::kScalar});
+    EXPECT_EQ(sv.ResolvedSimdTier(), simd::Tier::kScalar);
+    // A nonzero instance knob wins over the process default.
+    sv.set_execution_config(ExecutionConfig{0, 0, SimdMode::kSimd});
+    EXPECT_EQ(sv.ResolvedSimdTier(), simd::DetectedTier());
+    sv.set_execution_config(ExecutionConfig{});
+  }
+  EXPECT_EQ(sv.ResolvedSimdTier(), simd::DetectedTier());
+  // Tier names are stable strings (the perf-gate CI step logs them).
+  EXPECT_STREQ(simd::TierName(simd::Tier::kScalar), "scalar");
+  EXPECT_STREQ(simd::TierName(simd::Tier::kAvx2), "avx2");
+  if (!simd::CompiledWithSimd()) {
+    EXPECT_EQ(simd::DetectedTier(), simd::Tier::kScalar);
+  }
 }
 
 TEST(StatevectorParallelDeathTest, DiagonalLengthMismatchIsChecked) {
