@@ -22,6 +22,13 @@ enum class StatusCode {
   kUnimplemented,
   kResourceExhausted,
   kInternal,
+  /// The operation was cancelled, typically by the caller (async service
+  /// jobs resolve with this code after SolverService::Cancel).
+  kCancelled,
+  /// The operation's deadline passed before it produced a usable result
+  /// (async service jobs with a SubmitOptions deadline resolve with this
+  /// code whether the deadline expired while queued or while running).
+  kDeadlineExceeded,
 };
 
 /// Returns a stable human-readable name for a status code ("InvalidArgument").
@@ -60,6 +67,12 @@ class Status {
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -1,0 +1,56 @@
+#ifndef QDM_SERVICE_CANCELLATION_H_
+#define QDM_SERVICE_CANCELLATION_H_
+
+#include <atomic>
+#include <memory>
+#include <utility>
+
+namespace qdm {
+namespace service {
+
+class CancellationSource;
+
+/// Cooperative cancellation handle. Work holding a token polls
+/// `cancelled()` at its natural checkpoints (the solver service checks
+/// between batch instances) and winds down when it flips — nothing is ever
+/// interrupted preemptively, so invariants held across a checkpoint stay
+/// intact. Tokens are cheap copyable views; the flag lives as long as any
+/// token or source referencing it.
+class CancellationToken {
+ public:
+  /// A default-constructed token can never be cancelled (useful for code
+  /// paths that take a token but have no caller to cancel them).
+  CancellationToken() = default;
+
+  bool cancelled() const {
+    return flag_ != nullptr && flag_->load(std::memory_order_acquire);
+  }
+
+ private:
+  friend class CancellationSource;
+  explicit CancellationToken(std::shared_ptr<std::atomic<bool>> flag)
+      : flag_(std::move(flag)) {}
+
+  std::shared_ptr<std::atomic<bool>> flag_;
+};
+
+/// Producer side: owns the flag and flips it. One source fans out to any
+/// number of tokens; cancellation is one-way and permanent.
+class CancellationSource {
+ public:
+  CancellationSource() : flag_(std::make_shared<std::atomic<bool>>(false)) {}
+
+  CancellationToken token() const { return CancellationToken(flag_); }
+
+  void Cancel() { flag_->store(true, std::memory_order_release); }
+
+  bool cancelled() const { return flag_->load(std::memory_order_acquire); }
+
+ private:
+  std::shared_ptr<std::atomic<bool>> flag_;
+};
+
+}  // namespace service
+}  // namespace qdm
+
+#endif  // QDM_SERVICE_CANCELLATION_H_

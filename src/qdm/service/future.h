@@ -1,0 +1,176 @@
+#ifndef QDM_SERVICE_FUTURE_H_
+#define QDM_SERVICE_FUTURE_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "qdm/common/check.h"
+#include "qdm/common/status.h"
+
+namespace qdm {
+namespace service {
+
+/// Promise/Future pair for the async solver service. Unlike std::future this
+/// carries the library's Status taxonomy (the resolved value is a Result<T>,
+/// never an exception — qdm is exception-free), supports deadline-bounded
+/// waiting (WaitFor), and supports then-style continuations (Then) so
+/// results can be transformed without a blocking thread.
+///
+/// Threading contract:
+///  - Promise::Set resolves exactly once (a second Set aborts) and may be
+///    called from any thread; all copies of the Future observe it.
+///  - Futures are cheap shared handles; Wait/WaitFor/Get/ready may be
+///    called from any number of threads, any number of times (Get after
+///    resolution is non-blocking and always returns the same Result).
+///  - Continuations run on the resolving thread (inline when the future is
+///    already resolved at Then time). They must not block and must not wait
+///    on other futures resolved by the same worker.
+template <typename T>
+class Future;
+
+namespace internal {
+
+template <typename T>
+struct FutureState {
+  std::mutex mutex;
+  std::condition_variable resolved_cv;
+  // Engaged exactly once; never mutated afterwards, so readers that have
+  // observed resolution may keep references into it without the lock.
+  std::optional<Result<T>> result;
+  std::vector<std::function<void(const Result<T>&)>> continuations;
+};
+
+}  // namespace internal
+
+template <typename T>
+class Promise {
+ public:
+  Promise() : state_(std::make_shared<internal::FutureState<T>>()) {}
+
+  /// The consuming handle. May be called repeatedly; every returned Future
+  /// shares this promise's state.
+  Future<T> future() const { return Future<T>(state_); }
+
+  /// Resolves the future with a value or an error Status and runs any
+  /// registered continuations on the calling thread. Aborts on double-Set.
+  void Set(Result<T> result) {
+    std::vector<std::function<void(const Result<T>&)>> continuations;
+    {
+      std::lock_guard<std::mutex> lock(state_->mutex);
+      QDM_CHECK(!state_->result.has_value()) << "Promise resolved twice";
+      state_->result.emplace(std::move(result));
+      continuations.swap(state_->continuations);
+      state_->resolved_cv.notify_all();
+    }
+    // Continuations run outside the state lock: they may create futures,
+    // resolve other promises, or touch the service that resolved us.
+    for (const auto& continuation : continuations) {
+      continuation(*state_->result);
+    }
+  }
+
+  bool resolved() const {
+    std::lock_guard<std::mutex> lock(state_->mutex);
+    return state_->result.has_value();
+  }
+
+ private:
+  std::shared_ptr<internal::FutureState<T>> state_;
+};
+
+template <typename T>
+class Future {
+ public:
+  /// A default-constructed future is invalid (no producer); waiting on it
+  /// is a programming error and aborts.
+  Future() = default;
+
+  bool valid() const { return state_ != nullptr; }
+
+  bool ready() const {
+    QDM_CHECK(valid()) << "Future::ready() on an invalid future";
+    std::lock_guard<std::mutex> lock(state_->mutex);
+    return state_->result.has_value();
+  }
+
+  /// Blocks until the producing Promise resolves.
+  void Wait() const {
+    QDM_CHECK(valid()) << "Future::Wait() on an invalid future";
+    std::unique_lock<std::mutex> lock(state_->mutex);
+    state_->resolved_cv.wait(lock,
+                             [this] { return state_->result.has_value(); });
+  }
+
+  /// Deadline-bounded wait: blocks up to `timeout` and returns whether the
+  /// future resolved. A false return is a pure timeout — the future is
+  /// untouched and may still resolve later.
+  bool WaitFor(std::chrono::nanoseconds timeout) const {
+    QDM_CHECK(valid()) << "Future::WaitFor() on an invalid future";
+    std::unique_lock<std::mutex> lock(state_->mutex);
+    return state_->resolved_cv.wait_for(
+        lock, timeout, [this] { return state_->result.has_value(); });
+  }
+
+  /// Blocks until resolved, then returns the Result. The reference is
+  /// stable for the lifetime of any Future/Promise sharing this state (the
+  /// result is set once and never mutated).
+  const Result<T>& Get() const {
+    Wait();
+    return *state_->result;
+  }
+
+  /// Then-style continuation: returns a future resolving with
+  /// `fn(result-of-this)`. When this future is already resolved, `fn` runs
+  /// inline on the calling thread; otherwise it runs on the resolving
+  /// thread, after the value is published (so `Get()` inside `fn` would not
+  /// block) but before `Set` returns to the producer.
+  template <typename U>
+  Future<U> Then(std::function<Result<U>(const Result<T>&)> fn) const {
+    QDM_CHECK(valid()) << "Future::Then() on an invalid future";
+    QDM_CHECK(fn != nullptr) << "Future::Then() given a null continuation";
+    Promise<U> chained;
+    Future<U> chained_future = chained.future();
+    bool run_inline = false;
+    {
+      std::lock_guard<std::mutex> lock(state_->mutex);
+      if (state_->result.has_value()) {
+        run_inline = true;
+      } else {
+        state_->continuations.push_back(
+            [chained, fn](const Result<T>& result) mutable {
+              chained.Set(fn(result));
+            });
+      }
+    }
+    // Inline execution happens outside the lock: the continuation may
+    // itself wait on or chain from this future.
+    if (run_inline) chained.Set(fn(*state_->result));
+    return chained_future;
+  }
+
+ private:
+  friend class Promise<T>;
+  explicit Future(std::shared_ptr<internal::FutureState<T>> state)
+      : state_(std::move(state)) {}
+
+  std::shared_ptr<internal::FutureState<T>> state_;
+};
+
+/// An already-resolved future (for immediate values / pre-validated errors).
+template <typename T>
+Future<T> MakeResolvedFuture(Result<T> result) {
+  Promise<T> promise;
+  promise.Set(std::move(result));
+  return promise.future();
+}
+
+}  // namespace service
+}  // namespace qdm
+
+#endif  // QDM_SERVICE_FUTURE_H_

@@ -1,0 +1,107 @@
+#ifndef QDM_SERVICE_JOB_H_
+#define QDM_SERVICE_JOB_H_
+
+#include <chrono>
+#include <cstdint>
+
+#include "qdm/common/status.h"
+
+namespace qdm {
+namespace service {
+
+/// Opaque handle for polling/waiting/cancelling a submitted job. Ids are
+/// assigned in submission order starting at 1 and never reused within a
+/// service instance; 0 is never a valid id.
+using JobId = uint64_t;
+
+/// Lifecycle of a job (see docs/service.md for the transition diagram):
+///
+///   kQueued ──> kRunning ──> kSucceeded | kFailed
+///      │            │
+///      │            ├──────> kCancelled          (Cancel observed)
+///      │            └──────> kDeadlineExceeded   (deadline passed)
+///      ├─────────────────────> kCancelled          (Cancel while queued)
+///      └─────────────────────> kDeadlineExceeded   (expired in the queue)
+///
+/// The four right-hand states are terminal; a terminal job never changes
+/// state again and its future is resolved exactly once.
+enum class JobState {
+  kQueued = 0,
+  kRunning,
+  kSucceeded,
+  kFailed,
+  kCancelled,
+  kDeadlineExceeded,
+};
+
+/// Stable human-readable name ("Queued", "Running", ...).
+const char* JobStateToString(JobState state);
+
+inline bool IsTerminalJobState(JobState state) {
+  return state != JobState::kQueued && state != JobState::kRunning;
+}
+
+/// Point-in-time view of one job, returned by SolverService::Poll. `status`
+/// is meaningful only once the state is terminal: Ok for kSucceeded, the
+/// failure for kFailed, and Cancelled / DeadlineExceeded for the
+/// corresponding states (the same Status the job's future resolved with).
+struct JobSnapshot {
+  JobId id = 0;
+  JobState state = JobState::kQueued;
+  Status status;
+};
+
+/// Per-submission knobs (orthogonal to the anneal::SolverOptions that tune
+/// the backend itself).
+struct SubmitOptions {
+  /// Deadline measured from the Submit call; zero means none. A job whose
+  /// deadline passes resolves DeadlineExceeded — whether it expired while
+  /// queued, mid-run (checked between batch instances), or even when the
+  /// backend finished after the deadline: a past-deadline job NEVER
+  /// resolves kOk. Negative deadlines are InvalidArgument.
+  std::chrono::nanoseconds deadline{0};
+};
+
+/// Construction-time configuration of a SolverService.
+struct ServiceConfig {
+  /// Maximum jobs executing concurrently (drained onto the process-wide
+  /// ThreadPool::Shared(), so actual parallelism is additionally bounded by
+  /// that pool's worker count). <= 0 means ThreadPool::DefaultNumThreads().
+  int num_workers = 0;
+
+  /// Admission control, high watermark: a Submit that would make the
+  /// pending-queue depth exceed this is rejected with ResourceExhausted.
+  /// 0 disables admission control (unbounded queue).
+  int max_queue_depth = 1024;
+
+  /// Admission control, low watermark: once a submission has been rejected,
+  /// the service keeps rejecting until the queue drains to at most this
+  /// depth (hysteresis — an overloaded service sheds a burst instead of
+  /// oscillating at the boundary). <= 0 means max_queue_depth / 2; values
+  /// >= max_queue_depth are clamped to max_queue_depth - 1.
+  int resume_queue_depth = 0;
+};
+
+/// Monotonic counters (`submitted`, `rejected`, and the terminal counts)
+/// plus point-in-time gauges (`queued`, `running`). Snapshots are taken
+/// under the service lock, so within one snapshot the conservation law
+///
+///   queued + running + completed + cancelled + deadline_exceeded
+///     == submitted
+///
+/// holds exactly at every instant (`rejected` submissions never become
+/// jobs and are outside the equation).
+struct ServiceStats {
+  uint64_t submitted = 0;  ///< Jobs accepted into the queue.
+  uint64_t rejected = 0;   ///< Submissions refused by admission control.
+  uint64_t queued = 0;     ///< Currently waiting (gauge).
+  uint64_t running = 0;    ///< Currently executing (gauge).
+  uint64_t completed = 0;  ///< Terminal kSucceeded + kFailed.
+  uint64_t cancelled = 0;  ///< Terminal kCancelled.
+  uint64_t deadline_exceeded = 0;  ///< Terminal kDeadlineExceeded.
+};
+
+}  // namespace service
+}  // namespace qdm
+
+#endif  // QDM_SERVICE_JOB_H_

@@ -37,6 +37,21 @@ TEST(StatusTest, AllCodesHaveNames) {
   EXPECT_STREQ(StatusCodeToString(StatusCode::kUnimplemented), "Unimplemented");
   EXPECT_STREQ(StatusCodeToString(StatusCode::kResourceExhausted),
                "ResourceExhausted");
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kCancelled), "Cancelled");
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kDeadlineExceeded),
+               "DeadlineExceeded");
+}
+
+TEST(StatusTest, AsyncLifecycleFactories) {
+  Status cancelled = Status::Cancelled("job 3 cancelled while queued");
+  EXPECT_FALSE(cancelled.ok());
+  EXPECT_EQ(cancelled.code(), StatusCode::kCancelled);
+  EXPECT_EQ(cancelled.ToString(), "Cancelled: job 3 cancelled while queued");
+
+  Status late = Status::DeadlineExceeded("deadline expired while queued");
+  EXPECT_FALSE(late.ok());
+  EXPECT_EQ(late.code(), StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(late.ToString(), "DeadlineExceeded: deadline expired while queued");
 }
 
 TEST(ResultTest, HoldsValue) {

@@ -3,8 +3,10 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <mutex>
+#include <thread>
 #include <vector>
 
 #include "qdm/anneal/qubo.h"
@@ -121,6 +123,75 @@ TEST(ThreadPoolTest, ForEachHandlesEmptyAndSingleRanges) {
   std::atomic<int> counter{0};
   ThreadPool::Shared().ForEach(1, [&counter](int) { counter.fetch_add(1); });
   EXPECT_EQ(counter.load(), 1);
+}
+
+TEST(ThreadPoolTest, ForEachWithMoreWorkersThanItemsTouchesNothingExtra) {
+  // Shard count (pool workers + caller) far exceeds the item count: the
+  // surplus shards must return immediately without touching any index, and
+  // each index is still visited exactly once.
+  ThreadPool pool(8);
+  const int n = 3;
+  std::vector<std::atomic<int>> hits(n);
+  for (auto& h : hits) h.store(0);
+  pool.ForEach(n, [&hits, n](int i) {
+    ASSERT_GE(i, 0);
+    ASSERT_LT(i, n);
+    hits[i].fetch_add(1);
+  });
+  for (int i = 0; i < n; ++i) {
+    EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ThreadPoolTest, ForEachWithNegativeCountReturnsImmediately) {
+  ThreadPool pool(2);
+  pool.ForEach(-5, [](int) { FAIL() << "body on negative range"; });
+  ThreadPool::Shared().ForEach(-1,
+                               [](int) { FAIL() << "body on negative range"; });
+}
+
+TEST(ThreadPoolTest, DestructorWhileIdleReturnsPromptly) {
+  // A pool that never received work (or whose work has fully drained) must
+  // tear down cleanly — workers are parked on the condition variable, not
+  // spinning, and the destructor wakes and joins every one of them.
+  { ThreadPool pool(4); }
+  {
+    ThreadPool pool(2);
+    std::atomic<int> counter{0};
+    pool.Submit([&counter] { counter.fetch_add(1); });
+    pool.Wait();
+    EXPECT_EQ(counter.load(), 1);
+    // Idle again: destruct with an empty queue and no task in flight.
+  }
+}
+
+TEST(ThreadPoolTest, DestructorWhileBusyDrainsInFlightAndQueuedWork) {
+  // Destruction while a task is mid-run and others are still queued: the
+  // destructor must let the running task finish and drain the queue before
+  // joining — nothing already submitted is dropped.
+  std::atomic<int> counter{0};
+  std::mutex mutex;
+  std::condition_variable cv;
+  bool first_started = false;
+  {
+    ThreadPool pool(1);
+    pool.Submit([&] {
+      {
+        std::lock_guard<std::mutex> lock(mutex);
+        first_started = true;
+      }
+      cv.notify_all();
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+      counter.fetch_add(1);
+    });
+    for (int i = 0; i < 20; ++i) {
+      pool.Submit([&counter] { counter.fetch_add(1); });
+    }
+    // Ensure the destructor genuinely overlaps a running task.
+    std::unique_lock<std::mutex> lock(mutex);
+    cv.wait(lock, [&] { return first_started; });
+  }
+  EXPECT_EQ(counter.load(), 21);
 }
 
 TEST(ThreadPoolTest, SharedForEachNestsWithoutDeadlock) {
