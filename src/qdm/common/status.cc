@@ -30,6 +30,44 @@ const char* StatusCodeToString(StatusCode code) {
   return "Unknown";
 }
 
+bool StatusCodeFromString(const std::string& name, StatusCode* code) {
+  // The enumerators are contiguous from kOk to kDeadlineExceeded.
+  const int last = static_cast<int>(StatusCode::kDeadlineExceeded);
+  for (int i = 0; i <= last; ++i) {
+    const StatusCode candidate = static_cast<StatusCode>(i);
+    if (name == StatusCodeToString(candidate)) {
+      *code = candidate;
+      return true;
+    }
+  }
+  return false;
+}
+
+int StatusCodeToHttpStatus(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return 200;
+    case StatusCode::kInvalidArgument:
+    case StatusCode::kOutOfRange:
+      return 400;
+    case StatusCode::kNotFound:
+      return 404;
+    case StatusCode::kAlreadyExists:
+    case StatusCode::kFailedPrecondition:
+    case StatusCode::kCancelled:
+      return 409;
+    case StatusCode::kUnimplemented:
+      return 501;
+    case StatusCode::kResourceExhausted:
+      return 429;
+    case StatusCode::kInternal:
+      return 500;
+    case StatusCode::kDeadlineExceeded:
+      return 504;
+  }
+  return 500;
+}
+
 std::string Status::ToString() const {
   if (ok()) return "OK";
   std::string result = StatusCodeToString(code_);

@@ -34,6 +34,27 @@ enum class StatusCode {
 /// Returns a stable human-readable name for a status code ("InvalidArgument").
 const char* StatusCodeToString(StatusCode code);
 
+/// Inverse of StatusCodeToString: resolves a stable code name back into the
+/// enumerator (the wire protocol in qdm/net carries codes by name, so a
+/// remote Status round-trips exactly). Returns false for unknown names and
+/// leaves `code` untouched.
+bool StatusCodeFromString(const std::string& name, StatusCode* code);
+
+/// Canonical HTTP response code for each StatusCode — the one mapping every
+/// network front end of the toolkit uses (qdm/net), kept next to the
+/// taxonomy so the two cannot drift:
+///
+///   kOk                 -> 200    kUnimplemented      -> 501
+///   kInvalidArgument    -> 400    kResourceExhausted  -> 429
+///   kOutOfRange         -> 400    kInternal           -> 500
+///   kNotFound           -> 404    kCancelled          -> 409
+///   kAlreadyExists      -> 409    kDeadlineExceeded   -> 504
+///   kFailedPrecondition -> 409
+///
+/// The HTTP code is presentation only: response bodies carry the exact
+/// (code name, message) pair, which is the authoritative Status.
+int StatusCodeToHttpStatus(StatusCode code);
+
 /// Result of an operation that can fail. qdm does not use C++ exceptions
 /// (per the project style guide); fallible operations return `Status` or
 /// `Result<T>` instead. A default-constructed `Status` is OK.

@@ -1,0 +1,84 @@
+#ifndef QDM_NET_HTTP_H_
+#define QDM_NET_HTTP_H_
+
+#include <atomic>
+#include <string>
+
+#include "qdm/common/status.h"
+
+namespace qdm {
+namespace net {
+
+/// Minimal blocking HTTP/1.1 message layer over POSIX sockets — just enough
+/// protocol for the qdmd daemon and its loopback clients, with no external
+/// dependencies. Supported subset: request/response with Content-Length
+/// bodies (no chunked transfer encoding), keep-alive and close connection
+/// semantics, loopback TCP only. Anything outside the subset is rejected
+/// with a 400, never silently misread.
+
+/// One parsed request. `target` is the raw request-target ("/v1/jobs/7");
+/// query strings are not interpreted by this server.
+struct HttpRequest {
+  std::string method;
+  std::string target;
+  std::string body;
+  bool keep_alive = true;
+};
+
+/// One parsed response (client side) or one to be written (server side).
+struct HttpResponse {
+  int status = 0;
+  std::string body;
+};
+
+/// Canonical reason phrase for the status codes this server emits.
+const char* HttpReasonPhrase(int status);
+
+/// Server side of one accepted connection. Owns the fd (closed by the
+/// destructor) and an input buffer carrying pipelined bytes between
+/// requests.
+class HttpConnection {
+ public:
+  explicit HttpConnection(int fd) : fd_(fd) {}
+  ~HttpConnection();
+
+  HttpConnection(const HttpConnection&) = delete;
+  HttpConnection& operator=(const HttpConnection&) = delete;
+
+  enum class ReadOutcome {
+    kRequest,  ///< `*request` holds one complete request.
+    kClosed,   ///< Peer closed cleanly at a request boundary.
+    kStopped,  ///< `*stop` became true while idle at a request boundary.
+    kBad,      ///< Malformed or oversized request; `*error` names why. The
+               ///< caller should answer 400 and close.
+  };
+
+  /// Blocks until one full request arrives, polling in short slices so a
+  /// raised `*stop` is observed promptly while the connection is idle. An
+  /// in-flight request (some bytes buffered) is always read to completion
+  /// so graceful shutdown finishes at a message boundary.
+  ReadOutcome ReadRequest(HttpRequest* request,
+                          const std::atomic<bool>* stop, std::string* error);
+
+  /// Writes a complete response (status line, Content-Length, body).
+  /// Returns false when the peer is gone (any write error).
+  bool WriteResponse(const HttpResponse& response, bool keep_alive);
+
+ private:
+  int fd_;
+  std::string buffer_;
+};
+
+/// Client side, one shot: connect to 127.0.0.1:`port`, send `method
+/// target` with `body` (Connection: close), read the response, close.
+/// Transport-level failures (refused connection, mid-message EOF,
+/// malformed response) are Internal; HTTP-level errors come back as a
+/// normal HttpResponse with a non-2xx status.
+Result<HttpResponse> HttpRoundTrip(int port, const std::string& method,
+                                   const std::string& target,
+                                   const std::string& body);
+
+}  // namespace net
+}  // namespace qdm
+
+#endif  // QDM_NET_HTTP_H_

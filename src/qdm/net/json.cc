@@ -1,0 +1,524 @@
+#include "qdm/net/json.h"
+
+#include <cerrno>
+#include <cmath>
+#include <cstdlib>
+#include <utility>
+
+#include "qdm/common/strings.h"
+
+namespace qdm {
+namespace net {
+
+namespace {
+
+constexpr int kMaxDepth = 64;
+
+Status ParseError(size_t offset, const std::string& what) {
+  return Status::InvalidArgument(
+      StrFormat("JSON parse error at offset %zu: %s", offset, what.c_str()));
+}
+
+/// Recursive-descent parser over [text_, text_ + size_). Error statuses
+/// carry the current byte offset.
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : text_(text) {}
+
+  Result<JsonValue> Parse() {
+    JsonValue value;
+    Status status = ParseValue(&value, 0);
+    if (!status.ok()) return status;
+    SkipWhitespace();
+    if (pos_ != text_.size()) {
+      return ParseError(pos_, "trailing content after the JSON document");
+    }
+    return value;
+  }
+
+ private:
+  void SkipWhitespace() {
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
+      ++pos_;
+    }
+  }
+
+  bool AtEnd() const { return pos_ >= text_.size(); }
+
+  Status ParseValue(JsonValue* out, int depth) {
+    if (depth > kMaxDepth) {
+      return ParseError(pos_, "nesting exceeds the depth limit");
+    }
+    SkipWhitespace();
+    if (AtEnd()) return ParseError(pos_, "unexpected end of input");
+    switch (text_[pos_]) {
+      case '{':
+        return ParseObject(out, depth);
+      case '[':
+        return ParseArray(out, depth);
+      case '"':
+        return ParseStringValue(out);
+      case 't':
+      case 'f':
+        return ParseBool(out);
+      case 'n':
+        return ParseNull(out);
+      default:
+        return ParseNumber(out);
+    }
+  }
+
+  Status ParseObject(JsonValue* out, int depth) {
+    ++pos_;  // '{'
+    JsonValue::Members members;
+    SkipWhitespace();
+    if (!AtEnd() && text_[pos_] == '}') {
+      ++pos_;
+      *out = JsonValue::MakeObject(std::move(members));
+      return Status::Ok();
+    }
+    for (;;) {
+      SkipWhitespace();
+      if (AtEnd() || text_[pos_] != '"') {
+        return ParseError(pos_, "expected a quoted object key");
+      }
+      std::string key;
+      QDM_RETURN_IF_ERROR(ParseStringLiteral(&key));
+      SkipWhitespace();
+      if (AtEnd() || text_[pos_] != ':') {
+        return ParseError(pos_, "expected ':' after object key");
+      }
+      ++pos_;
+      JsonValue value;
+      QDM_RETURN_IF_ERROR(ParseValue(&value, depth + 1));
+      members.emplace_back(std::move(key), std::move(value));
+      SkipWhitespace();
+      if (AtEnd()) return ParseError(pos_, "unterminated object");
+      if (text_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      if (text_[pos_] == '}') {
+        ++pos_;
+        *out = JsonValue::MakeObject(std::move(members));
+        return Status::Ok();
+      }
+      return ParseError(pos_, "expected ',' or '}' in object");
+    }
+  }
+
+  Status ParseArray(JsonValue* out, int depth) {
+    ++pos_;  // '['
+    std::vector<JsonValue> items;
+    SkipWhitespace();
+    if (!AtEnd() && text_[pos_] == ']') {
+      ++pos_;
+      *out = JsonValue::MakeArray(std::move(items));
+      return Status::Ok();
+    }
+    for (;;) {
+      JsonValue value;
+      QDM_RETURN_IF_ERROR(ParseValue(&value, depth + 1));
+      items.push_back(std::move(value));
+      SkipWhitespace();
+      if (AtEnd()) return ParseError(pos_, "unterminated array");
+      if (text_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      if (text_[pos_] == ']') {
+        ++pos_;
+        *out = JsonValue::MakeArray(std::move(items));
+        return Status::Ok();
+      }
+      return ParseError(pos_, "expected ',' or ']' in array");
+    }
+  }
+
+  Status ParseStringValue(JsonValue* out) {
+    std::string value;
+    QDM_RETURN_IF_ERROR(ParseStringLiteral(&value));
+    *out = JsonValue::MakeString(std::move(value));
+    return Status::Ok();
+  }
+
+  Status ParseStringLiteral(std::string* out) {
+    ++pos_;  // opening '"'
+    std::string value;
+    while (!AtEnd()) {
+      const unsigned char c = static_cast<unsigned char>(text_[pos_]);
+      if (c == '"') {
+        ++pos_;
+        *out = std::move(value);
+        return Status::Ok();
+      }
+      if (c == '\\') {
+        QDM_RETURN_IF_ERROR(ParseEscape(&value));
+        continue;
+      }
+      if (c < 0x20) {
+        return ParseError(pos_, "unescaped control character in string");
+      }
+      value.push_back(static_cast<char>(c));
+      ++pos_;
+    }
+    return ParseError(pos_, "unterminated string");
+  }
+
+  Status ParseEscape(std::string* out) {
+    ++pos_;  // '\\'
+    if (AtEnd()) return ParseError(pos_, "dangling escape");
+    const char c = text_[pos_++];
+    switch (c) {
+      case '"':
+      case '\\':
+      case '/':
+        out->push_back(c);
+        return Status::Ok();
+      case 'b':
+        out->push_back('\b');
+        return Status::Ok();
+      case 'f':
+        out->push_back('\f');
+        return Status::Ok();
+      case 'n':
+        out->push_back('\n');
+        return Status::Ok();
+      case 'r':
+        out->push_back('\r');
+        return Status::Ok();
+      case 't':
+        out->push_back('\t');
+        return Status::Ok();
+      case 'u':
+        return ParseUnicodeEscape(out);
+      default:
+        return ParseError(pos_ - 1, "unknown escape character");
+    }
+  }
+
+  Status ParseHex4(uint32_t* out) {
+    if (pos_ + 4 > text_.size()) {
+      return ParseError(pos_, "truncated \\u escape");
+    }
+    uint32_t value = 0;
+    for (int i = 0; i < 4; ++i) {
+      const char c = text_[pos_ + i];
+      value <<= 4;
+      if (c >= '0' && c <= '9') {
+        value |= static_cast<uint32_t>(c - '0');
+      } else if (c >= 'a' && c <= 'f') {
+        value |= static_cast<uint32_t>(c - 'a' + 10);
+      } else if (c >= 'A' && c <= 'F') {
+        value |= static_cast<uint32_t>(c - 'A' + 10);
+      } else {
+        return ParseError(pos_ + i, "invalid hex digit in \\u escape");
+      }
+    }
+    pos_ += 4;
+    *out = value;
+    return Status::Ok();
+  }
+
+  Status ParseUnicodeEscape(std::string* out) {
+    uint32_t code_point = 0;
+    QDM_RETURN_IF_ERROR(ParseHex4(&code_point));
+    if (code_point >= 0xD800 && code_point <= 0xDBFF) {
+      // High surrogate: a \uXXXX low surrogate must follow.
+      if (pos_ + 1 >= text_.size() || text_[pos_] != '\\' ||
+          text_[pos_ + 1] != 'u') {
+        return ParseError(pos_, "high surrogate not followed by \\u escape");
+      }
+      pos_ += 2;
+      uint32_t low = 0;
+      QDM_RETURN_IF_ERROR(ParseHex4(&low));
+      if (low < 0xDC00 || low > 0xDFFF) {
+        return ParseError(pos_ - 4, "invalid low surrogate");
+      }
+      code_point = 0x10000 + ((code_point - 0xD800) << 10) + (low - 0xDC00);
+    } else if (code_point >= 0xDC00 && code_point <= 0xDFFF) {
+      return ParseError(pos_ - 4, "unpaired low surrogate");
+    }
+    AppendUtf8(code_point, out);
+    return Status::Ok();
+  }
+
+  static void AppendUtf8(uint32_t cp, std::string* out) {
+    if (cp < 0x80) {
+      out->push_back(static_cast<char>(cp));
+    } else if (cp < 0x800) {
+      out->push_back(static_cast<char>(0xC0 | (cp >> 6)));
+      out->push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+    } else if (cp < 0x10000) {
+      out->push_back(static_cast<char>(0xE0 | (cp >> 12)));
+      out->push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+      out->push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+    } else {
+      out->push_back(static_cast<char>(0xF0 | (cp >> 18)));
+      out->push_back(static_cast<char>(0x80 | ((cp >> 12) & 0x3F)));
+      out->push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+      out->push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+    }
+  }
+
+  Status ParseBool(JsonValue* out) {
+    if (text_.compare(pos_, 4, "true") == 0) {
+      pos_ += 4;
+      *out = JsonValue::MakeBool(true);
+      return Status::Ok();
+    }
+    if (text_.compare(pos_, 5, "false") == 0) {
+      pos_ += 5;
+      *out = JsonValue::MakeBool(false);
+      return Status::Ok();
+    }
+    return ParseError(pos_, "invalid literal");
+  }
+
+  Status ParseNull(JsonValue* out) {
+    if (text_.compare(pos_, 4, "null") == 0) {
+      pos_ += 4;
+      *out = JsonValue();
+      return Status::Ok();
+    }
+    return ParseError(pos_, "invalid literal");
+  }
+
+  Status ParseNumber(JsonValue* out) {
+    const size_t start = pos_;
+    if (!AtEnd() && text_[pos_] == '-') ++pos_;
+    // Integer part: "0" or [1-9][0-9]*.
+    if (AtEnd() || text_[pos_] < '0' || text_[pos_] > '9') {
+      return ParseError(pos_, "expected a value");
+    }
+    if (text_[pos_] == '0') {
+      ++pos_;
+    } else {
+      while (!AtEnd() && text_[pos_] >= '0' && text_[pos_] <= '9') ++pos_;
+    }
+    if (!AtEnd() && text_[pos_] == '.') {
+      ++pos_;
+      if (AtEnd() || text_[pos_] < '0' || text_[pos_] > '9') {
+        return ParseError(pos_, "expected digits after decimal point");
+      }
+      while (!AtEnd() && text_[pos_] >= '0' && text_[pos_] <= '9') ++pos_;
+    }
+    if (!AtEnd() && (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      ++pos_;
+      if (!AtEnd() && (text_[pos_] == '+' || text_[pos_] == '-')) ++pos_;
+      if (AtEnd() || text_[pos_] < '0' || text_[pos_] > '9') {
+        return ParseError(pos_, "expected digits in exponent");
+      }
+      while (!AtEnd() && text_[pos_] >= '0' && text_[pos_] <= '9') ++pos_;
+    }
+    *out = JsonValue::MakeNumberToken(text_.substr(start, pos_ - start));
+    return Status::Ok();
+  }
+
+  const std::string& text_;
+  size_t pos_ = 0;
+};
+
+bool TokenIsInteger(const std::string& token) {
+  return token.find('.') == std::string::npos &&
+         token.find('e') == std::string::npos &&
+         token.find('E') == std::string::npos;
+}
+
+}  // namespace
+
+JsonValue JsonValue::MakeBool(bool value) {
+  JsonValue v;
+  v.type_ = Type::kBool;
+  v.bool_ = value;
+  return v;
+}
+
+JsonValue JsonValue::MakeNumberToken(std::string token) {
+  JsonValue v;
+  v.type_ = Type::kNumber;
+  v.scalar_ = std::move(token);
+  return v;
+}
+
+JsonValue JsonValue::MakeString(std::string value) {
+  JsonValue v;
+  v.type_ = Type::kString;
+  v.scalar_ = std::move(value);
+  return v;
+}
+
+JsonValue JsonValue::MakeArray(std::vector<JsonValue> items) {
+  JsonValue v;
+  v.type_ = Type::kArray;
+  v.array_ = std::move(items);
+  return v;
+}
+
+JsonValue JsonValue::MakeObject(Members members) {
+  JsonValue v;
+  v.type_ = Type::kObject;
+  v.members_ = std::move(members);
+  return v;
+}
+
+const char* JsonValue::TypeName() const {
+  switch (type_) {
+    case Type::kNull:
+      return "null";
+    case Type::kBool:
+      return "boolean";
+    case Type::kNumber:
+      return "number";
+    case Type::kString:
+      return "string";
+    case Type::kArray:
+      return "array";
+    case Type::kObject:
+      return "object";
+  }
+  return "unknown";
+}
+
+bool JsonValue::bool_value() const {
+  QDM_CHECK(is_bool()) << "bool_value() on a " << TypeName();
+  return bool_;
+}
+
+const std::string& JsonValue::number_token() const {
+  QDM_CHECK(is_number()) << "number_token() on a " << TypeName();
+  return scalar_;
+}
+
+const std::string& JsonValue::string_value() const {
+  QDM_CHECK(is_string()) << "string_value() on a " << TypeName();
+  return scalar_;
+}
+
+const std::vector<JsonValue>& JsonValue::array() const {
+  QDM_CHECK(is_array()) << "array() on a " << TypeName();
+  return array_;
+}
+
+const JsonValue::Members& JsonValue::members() const {
+  QDM_CHECK(is_object()) << "members() on a " << TypeName();
+  return members_;
+}
+
+const JsonValue* JsonValue::Find(const std::string& key) const {
+  if (!is_object()) return nullptr;
+  for (const auto& [name, value] : members_) {
+    if (name == key) return &value;
+  }
+  return nullptr;
+}
+
+Result<double> JsonValue::AsDouble(const std::string& field) const {
+  if (!is_number()) {
+    return Status::InvalidArgument(StrFormat(
+        "%s: expected a number, got %s", field.c_str(), TypeName()));
+  }
+  errno = 0;
+  char* end = nullptr;
+  const double value = std::strtod(scalar_.c_str(), &end);
+  if (end != scalar_.c_str() + scalar_.size() || !std::isfinite(value)) {
+    return Status::InvalidArgument(StrFormat(
+        "%s: number '%s' does not fit a finite double (NaN/Inf are not "
+        "representable on the wire)",
+        field.c_str(), scalar_.c_str()));
+  }
+  return value;
+}
+
+Result<int64_t> JsonValue::AsInt64(const std::string& field) const {
+  if (!is_number()) {
+    return Status::InvalidArgument(StrFormat(
+        "%s: expected an integer, got %s", field.c_str(), TypeName()));
+  }
+  if (!TokenIsInteger(scalar_)) {
+    return Status::InvalidArgument(StrFormat(
+        "%s: expected an integer, got '%s'", field.c_str(), scalar_.c_str()));
+  }
+  errno = 0;
+  char* end = nullptr;
+  const long long value = std::strtoll(scalar_.c_str(), &end, 10);
+  if (errno == ERANGE || end != scalar_.c_str() + scalar_.size()) {
+    return Status::InvalidArgument(StrFormat(
+        "%s: integer '%s' out of int64 range", field.c_str(),
+        scalar_.c_str()));
+  }
+  return static_cast<int64_t>(value);
+}
+
+Result<uint64_t> JsonValue::AsUint64(const std::string& field) const {
+  if (!is_number()) {
+    return Status::InvalidArgument(StrFormat(
+        "%s: expected an unsigned integer, got %s", field.c_str(),
+        TypeName()));
+  }
+  if (!TokenIsInteger(scalar_) || scalar_[0] == '-') {
+    return Status::InvalidArgument(
+        StrFormat("%s: expected an unsigned integer, got '%s'", field.c_str(),
+                  scalar_.c_str()));
+  }
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long value = std::strtoull(scalar_.c_str(), &end, 10);
+  if (errno == ERANGE || end != scalar_.c_str() + scalar_.size()) {
+    return Status::InvalidArgument(StrFormat(
+        "%s: integer '%s' out of uint64 range", field.c_str(),
+        scalar_.c_str()));
+  }
+  return static_cast<uint64_t>(value);
+}
+
+Result<JsonValue> JsonParse(const std::string& text) {
+  return Parser(text).Parse();
+}
+
+void JsonAppendQuoted(const std::string& value, std::string* out) {
+  out->push_back('"');
+  for (const char c : value) {
+    switch (c) {
+      case '"':
+        *out += "\\\"";
+        break;
+      case '\\':
+        *out += "\\\\";
+        break;
+      case '\b':
+        *out += "\\b";
+        break;
+      case '\f':
+        *out += "\\f";
+        break;
+      case '\n':
+        *out += "\\n";
+        break;
+      case '\r':
+        *out += "\\r";
+        break;
+      case '\t':
+        *out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          *out += StrFormat("\\u%04x", c);
+        } else {
+          out->push_back(c);
+        }
+    }
+  }
+  out->push_back('"');
+}
+
+void JsonAppendDouble(double value, std::string* out) {
+  QDM_CHECK(std::isfinite(value))
+      << "the wire format cannot represent NaN/Inf";
+  *out += StrFormat("%.17g", value);
+}
+
+}  // namespace net
+}  // namespace qdm

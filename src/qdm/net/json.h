@@ -1,0 +1,99 @@
+#ifndef QDM_NET_JSON_H_
+#define QDM_NET_JSON_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "qdm/common/check.h"
+#include "qdm/common/status.h"
+
+namespace qdm {
+namespace net {
+
+/// Minimal JSON document model for the qdm wire protocol (qdm/net/wire.h).
+/// Deliberately dependency-free and exception-free: parsing failures are
+/// InvalidArgument Statuses with byte offsets, and type misuse of an
+/// already-parsed value is a programming error (QDM_CHECK), matching the
+/// rest of the toolkit.
+///
+/// Numbers are stored as their RAW TOKEN TEXT and converted on demand
+/// (AsDouble / AsInt64 / AsUint64). That is what makes the wire format
+/// bit-exact: a double encoded with "%.17g" survives parse -> strtod
+/// unchanged, and a uint64 seed is never squeezed through a double (which
+/// would lose precision above 2^53). Conversion rejects overflow (e.g.
+/// "1e999" -> non-finite) so NaN/Inf can never enter through the wire.
+class JsonValue {
+ public:
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  /// Object members keep their textual order (encode/decode stability).
+  using Members = std::vector<std::pair<std::string, JsonValue>>;
+
+  JsonValue() : type_(Type::kNull) {}
+
+  static JsonValue MakeBool(bool value);
+  static JsonValue MakeNumberToken(std::string token);
+  static JsonValue MakeString(std::string value);
+  static JsonValue MakeArray(std::vector<JsonValue> items);
+  static JsonValue MakeObject(Members members);
+
+  Type type() const { return type_; }
+  bool is_null() const { return type_ == Type::kNull; }
+  bool is_bool() const { return type_ == Type::kBool; }
+  bool is_number() const { return type_ == Type::kNumber; }
+  bool is_string() const { return type_ == Type::kString; }
+  bool is_array() const { return type_ == Type::kArray; }
+  bool is_object() const { return type_ == Type::kObject; }
+
+  /// Stable lowercase name of the value's type ("object", "number", ...)
+  /// for error messages.
+  const char* TypeName() const;
+
+  bool bool_value() const;
+  const std::string& number_token() const;
+  const std::string& string_value() const;
+  const std::vector<JsonValue>& array() const;
+  const Members& members() const;
+
+  /// Object lookup; nullptr when absent (or when this is not an object —
+  /// callers type-check first for precise error messages).
+  const JsonValue* Find(const std::string& key) const;
+
+  /// Number conversions. `field` is the dotted path used in the error
+  /// message ("qubo.linear[3]"). AsDouble rejects non-finite results
+  /// (overflowing literals); the integer forms reject fractions, exponents,
+  /// out-of-range magnitudes, and (for uint64) negative values.
+  Result<double> AsDouble(const std::string& field) const;
+  Result<int64_t> AsInt64(const std::string& field) const;
+  Result<uint64_t> AsUint64(const std::string& field) const;
+
+ private:
+  Type type_;
+  bool bool_ = false;
+  std::string scalar_;  // Number token or string payload.
+  std::vector<JsonValue> array_;
+  Members members_;
+};
+
+/// Parses one complete JSON document (trailing garbage is an error).
+/// Accepts the full RFC 8259 grammar — objects, arrays, strings with
+/// escapes incl. \uXXXX (surrogate pairs), numbers, true/false/null — with
+/// a nesting-depth limit of 64. Errors are InvalidArgument with the byte
+/// offset and what was expected.
+Result<JsonValue> JsonParse(const std::string& text);
+
+/// Appends `value` quoted and escaped per JSON to `out`.
+void JsonAppendQuoted(const std::string& value, std::string* out);
+
+/// Appends the shortest exact decimal form of `value` ("%.17g" — parses
+/// back to the identical bits). `value` must be finite (QDM_CHECK): the
+/// wire format has no representation for NaN/Inf by design.
+void JsonAppendDouble(double value, std::string* out);
+
+}  // namespace net
+}  // namespace qdm
+
+#endif  // QDM_NET_JSON_H_

@@ -3,6 +3,7 @@
 
 #include <chrono>
 #include <cstdint>
+#include <string>
 
 #include "qdm/common/status.h"
 
@@ -36,6 +37,11 @@ enum class JobState {
 
 /// Stable human-readable name ("Queued", "Running", ...).
 const char* JobStateToString(JobState state);
+
+/// Inverse of JobStateToString: resolves a stable state name back into the
+/// enumerator (job snapshots travel by name through the qdm/net wire
+/// protocol). Returns false for unknown names and leaves `state` untouched.
+bool JobStateFromString(const std::string& name, JobState* state);
 
 inline bool IsTerminalJobState(JobState state) {
   return state != JobState::kQueued && state != JobState::kRunning;

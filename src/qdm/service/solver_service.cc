@@ -57,6 +57,19 @@ const char* JobStateToString(JobState state) {
   return "Unknown";
 }
 
+bool JobStateFromString(const std::string& name, JobState* state) {
+  // The enumerators are contiguous from kQueued to kDeadlineExceeded.
+  const int last = static_cast<int>(JobState::kDeadlineExceeded);
+  for (int i = 0; i <= last; ++i) {
+    const JobState candidate = static_cast<JobState>(i);
+    if (name == JobStateToString(candidate)) {
+      *state = candidate;
+      return true;
+    }
+  }
+  return false;
+}
+
 struct SolverService::Impl {
   struct Job {
     JobId id = 0;
