@@ -171,6 +171,75 @@ void RunPortfolioSweep(const qdm_bench::SweepFlags& flags,
       table.ToString().c_str());
 }
 
+// Noise sweep: the same MQO QUBOs through the "noisy:<model>:qaoa" family
+// (docs/noise.md) at increasing depolarizing rates. 4-variable instances
+// keep the bridge on the exact density-matrix path, so the reported
+// noise_fidelity is a deterministic function of the seed: it is recorded as
+// an exact perf-gate metric, and the NISQ contract — fidelity degrades
+// monotonically with the error rate — is QDM_CHECKed at bench runtime.
+void RunNoiseSweep(const qdm_bench::SweepFlags& flags,
+                   qdm_bench::MetricsJson* metrics) {
+  (void)flags;
+  const int kInstances = 8;
+  qdm::Rng gen_rng(13);
+  std::vector<qdm::anneal::Qubo> qubos;
+  qubos.reserve(kInstances);
+  for (int i = 0; i < kInstances; ++i) {
+    qubos.push_back(qdm::qopt::MqoToQubo(
+        qdm::qopt::GenerateMqoProblem(2, 2, 0.3, &gen_rng)));
+  }
+  qdm::anneal::SolverOptions options;
+  options.num_reads = 10;
+  options.layers = 1;
+  options.restarts = 1;
+  options.seed = 13;
+
+  struct Point {
+    const char* model;  // Noise-model token of the solver name.
+    const char* label;  // Short key used in metric names.
+  };
+  const Point kPoints[] = {{"depol@0.0", "p0"},
+                           {"depol@0.001", "p001"},
+                           {"depol@0.01", "p01"},
+                           {"depol@0.05", "p05"}};
+  qdm::TablePrinter table(
+      {"solver", "total ms", "items/s", "mean fidelity"});
+  double previous_fidelity = 2.0;  // Above any reachable fidelity.
+  for (const Point& point : kPoints) {
+    const std::string solver =
+        qdm::StrFormat("noisy:%s:qaoa", point.model);
+    const auto start = std::chrono::steady_clock::now();
+    auto sets =
+        qdm::anneal::SolveBatchParallel(solver, qubos, options, 1);
+    const double ms = MillisSince(start);
+    QDM_CHECK(sets.ok()) << solver << ": " << sets.status();
+    double fidelity = 0.0;
+    for (const qdm::anneal::SampleSet& set : *sets) {
+      fidelity += set.noise_fidelity();
+    }
+    fidelity /= kInstances;
+    QDM_CHECK(fidelity <= previous_fidelity + 1e-12)
+        << solver << ": fidelity " << fidelity
+        << " not monotone under rising noise (previous "
+        << previous_fidelity << ")";
+    previous_fidelity = fidelity;
+    const double items_per_s = 1000.0 * kInstances / ms;
+    table.AddRow({solver, qdm::StrFormat("%.1f", ms),
+                  qdm::StrFormat("%.1f", items_per_s),
+                  qdm::StrFormat("%.6f", fidelity)});
+    metrics->Add(qdm::StrFormat("mqo_noise_%s_items_per_s", point.label),
+                 items_per_s);
+    metrics->AddExact(qdm::StrFormat("mqo_noise_%s_fidelity", point.label),
+                      fidelity);
+  }
+  std::printf(
+      "Noise sweep: 8 MQO QUBOs (2 queries x 2 plans) through the noisy:*\n"
+      "family at rising depolarizing rates; mean noise_fidelity must degrade\n"
+      "monotonically (checked), and each value is seed-exact (perf-gated).\n"
+      "%s\n",
+      table.ToString().c_str());
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -179,6 +248,7 @@ int main(int argc, char** argv) {
   if (flags.sweep_only) {
     RunBatchSweep(flags, &metrics);
     RunPortfolioSweep(flags, &metrics);
+    RunNoiseSweep(flags, &metrics);
     if (flags.json_path != nullptr) metrics.WriteTo(flags.json_path);
     return 0;
   }
@@ -256,6 +326,7 @@ int main(int argc, char** argv) {
       "problems\" caveat of [20], reproduced.\n\n");
   RunBatchSweep(flags, &metrics);
   RunPortfolioSweep(flags, &metrics);
+  RunNoiseSweep(flags, &metrics);
   if (flags.json_path != nullptr) metrics.WriteTo(flags.json_path);
   return 0;
 }

@@ -32,10 +32,18 @@ import sys
 
 LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
 # Fully-concrete embedded registry names: embedded:<base>:<family>:<dims>.
-EMBEDDED_NAME_RE = re.compile(
-    r"^embedded:[a-z0-9_]+:[a-z]+:[0-9]+(?:x[0-9]+)*$")
-# One race member: a plain backend name or a concrete embedded:* name.
-_RACE_MEMBER = r"(?:embedded:[a-z0-9_]+:[a-z]+:[0-9]+(?:x[0-9]+)*|[a-z0-9_]+)"
+_EMBEDDED_NAME = r"embedded:[a-z0-9_]+:[a-z]+:[0-9]+(?:x[0-9]+)*"
+EMBEDDED_NAME_RE = re.compile(rf"^{_EMBEDDED_NAME}$")
+# One noise-model token: <channel>@<rate>[,<rate>,<rate>] (docs/noise.md).
+_NOISE_MODEL = r"[a-z]+@[0-9]+(?:\.[0-9]+)?(?:,[0-9]+(?:\.[0-9]+)?){0,2}"
+# Fully-concrete noisy names: noisy:<model>:<base>, where the base is a
+# plain backend name or a concrete embedded:* name.
+NOISY_NAME_RE = re.compile(
+    rf"^noisy:{_NOISE_MODEL}:(?:{_EMBEDDED_NAME}|[a-z0-9_]+)$")
+# One race member: a plain backend name, a concrete embedded:* name, or a
+# concrete noisy:* name.
+_RACE_MEMBER = (rf"(?:noisy:{_NOISE_MODEL}:(?:{_EMBEDDED_NAME}|[a-z0-9_]+)"
+                rf"|{_EMBEDDED_NAME}|[a-z0-9_]+)")
 # Fully-concrete portfolio names: race:<member>+<member>[+...].
 RACE_NAME_RE = re.compile(rf"^race:{_RACE_MEMBER}(?:\+{_RACE_MEMBER})+$")
 # Per dynamically-resolved family: (candidate-token regex — includes
@@ -43,7 +51,8 @@ RACE_NAME_RE = re.compile(rf"^race:{_RACE_MEMBER}(?:\+{_RACE_MEMBER})+$")
 # registry-name regex).
 NAME_FAMILIES = [
     (re.compile(r"embedded:[A-Za-z0-9_:*<>x-]+"), EMBEDDED_NAME_RE),
-    (re.compile(r"race:[A-Za-z0-9_:*<>x+-]+"), RACE_NAME_RE),
+    (re.compile(r"race:[A-Za-z0-9_:*<>@.,x+-]+"), RACE_NAME_RE),
+    (re.compile(r"noisy:[A-Za-z0-9_:*<>@.,x-]+"), NOISY_NAME_RE),
 ]
 
 

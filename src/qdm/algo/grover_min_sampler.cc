@@ -1,6 +1,7 @@
 #include "qdm/algo/grover_min_sampler.h"
 
 #include "qdm/algo/grover.h"
+#include "qdm/algo/noisy_sampling.h"
 #include "qdm/algo/qaoa.h"
 #include "qdm/common/check.h"
 
@@ -25,6 +26,33 @@ anneal::SampleSet GroverMinSampler::SampleQubo(const anneal::Qubo& qubo,
     for (int i = 0; i < n; ++i) x[i] = (min.argmin >> i) & 1;
     set.Add(anneal::Sample{std::move(x), min.minimum, 0.0});
   }
+  return set;
+}
+
+anneal::SampleSet GroverMinSampler::SampleQuboNoisy(
+    const anneal::Qubo& qubo, int num_reads, const sim::NoiseModel& model,
+    Rng* rng) {
+  QDM_CHECK_LE(qubo.num_variables(), options_.max_qubits)
+      << "Grover minimum finding limited to " << options_.max_qubits
+      << " qubits";
+  const std::vector<double> diag = BuildDiagonal(qubo);
+  const int n = qubo.num_variables();
+
+  anneal::SampleSet set;
+  last_oracle_queries_ = 0;
+  double survival_total = 0.0;
+  for (int read = 0; read < num_reads; ++read) {
+    MinimumResult min = DurrHoyerMinimum(
+        n, [&](uint64_t z) { return diag[z]; }, rng);
+    last_oracle_queries_ += min.oracle_queries;
+    double survival = 1.0;
+    const uint64_t z = CorruptBasisState(min.argmin, n, model, rng, &survival);
+    survival_total += survival;
+    anneal::Assignment x(n);
+    for (int i = 0; i < n; ++i) x[i] = (z >> i) & 1;
+    set.Add(anneal::Sample{std::move(x), diag[z], 0.0});
+  }
+  set.set_noise_fidelity(num_reads > 0 ? survival_total / num_reads : 1.0);
   return set;
 }
 

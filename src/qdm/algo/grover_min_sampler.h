@@ -3,6 +3,7 @@
 
 #include "qdm/anneal/qubo.h"
 #include "qdm/anneal/sampler.h"
+#include "qdm/sim/noise.h"
 
 namespace qdm {
 namespace algo {
@@ -24,6 +25,15 @@ class GroverMinSampler : public anneal::Sampler {
 
   anneal::SampleSet SampleQubo(const anneal::Qubo& qubo, int num_reads,
                                Rng* rng) override;
+
+  /// Noisy sibling of SampleQubo (docs/noise.md): the adaptive Durr-Hoyer
+  /// search has no single gate-level circuit to inject per-gate errors
+  /// into, so each read's measured argmin is corrupted classically via
+  /// algo::CorruptBasisState; noise_fidelity is the mean survival
+  /// probability of the reads.
+  anneal::SampleSet SampleQuboNoisy(const anneal::Qubo& qubo, int num_reads,
+                                    const sim::NoiseModel& model, Rng* rng);
+
   std::string name() const override { return "grover_min"; }
 
   /// Oracle queries consumed by the most recent SampleQubo call.

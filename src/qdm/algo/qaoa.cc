@@ -1,7 +1,9 @@
 #include "qdm/algo/qaoa.h"
 
 #include <cmath>
+#include <optional>
 
+#include "qdm/algo/noisy_sampling.h"
 #include "qdm/common/check.h"
 
 namespace qdm {
@@ -132,6 +134,23 @@ anneal::SampleSet QaoaSampler::SampleQubo(const anneal::Qubo& qubo,
     set.Add(anneal::Sample{std::move(x), diag[z], 0.0});
   }
   return set;
+}
+
+anneal::SampleSet QaoaSampler::SampleQuboNoisy(
+    const anneal::Qubo& qubo, int num_reads, const sim::NoiseModel& model,
+    const anneal::SolverOptions& options) {
+  QDM_CHECK_LE(qubo.num_variables(), options_.max_qubits)
+      << "QAOA statevector backend limited to " << options_.max_qubits
+      << " qubits";
+  Qaoa qaoa(qubo, options_.layers);
+  CoordinateDescent optimizer;
+  std::optional<Rng> local;
+  Rng* rng = anneal::ResolveSolverRng(options, &local);
+  OptimizationResult opt = qaoa.Optimize(&optimizer, options_.restarts, rng);
+  // The gate-level circuit produces the same state as the fast diagonal
+  // path up to global phase, which the fidelity metric is invariant to.
+  return SampleCircuitNoisy(qaoa.BuildCircuit(opt.parameters),
+                            qaoa.diagonal(), model, num_reads, options);
 }
 
 }  // namespace algo

@@ -6,7 +6,9 @@
 #include "qdm/algo/optimizers.h"
 #include "qdm/anneal/qubo.h"
 #include "qdm/anneal/sampler.h"
+#include "qdm/anneal/solver.h"
 #include "qdm/circuit/circuit.h"
+#include "qdm/sim/noise.h"
 #include "qdm/sim/statevector.h"
 
 namespace qdm {
@@ -72,6 +74,15 @@ class QaoaSampler : public anneal::Sampler {
 
   anneal::SampleSet SampleQubo(const anneal::Qubo& qubo, int num_reads,
                                Rng* rng) override;
+
+  /// Noisy sibling of SampleQubo (docs/noise.md): the variational loop
+  /// optimizes noiselessly as usual, then the optimal gate-level circuit is
+  /// sampled under `model` via SampleCircuitNoisy (per-shot seed derivation
+  /// from `options`; the returned set carries noise_fidelity).
+  anneal::SampleSet SampleQuboNoisy(const anneal::Qubo& qubo, int num_reads,
+                                    const sim::NoiseModel& model,
+                                    const anneal::SolverOptions& options);
+
   std::string name() const override { return "qaoa"; }
 
  private:

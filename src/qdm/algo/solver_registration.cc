@@ -14,6 +14,7 @@
 #include <optional>
 
 #include "qdm/algo/grover_min_sampler.h"
+#include "qdm/algo/noisy_sampling.h"
 #include "qdm/algo/qaoa.h"
 #include "qdm/algo/vqe.h"
 #include "qdm/anneal/solver.h"
@@ -58,6 +59,10 @@ class VariationalSolver : public anneal::QuboSolver {
     opts.max_qubits = std::min(opts.max_qubits, kDiagonalQubitCap);
     QDM_RETURN_IF_ERROR(CheckFits(qubo, opts.max_qubits, label_));
     SamplerT sampler(opts);
+    if (!options.noise.IsNoiseless()) {
+      return sampler.SampleQuboNoisy(qubo, options.num_reads,
+                                     ToNoiseModel(options.noise), options);
+    }
     std::optional<Rng> local;
     return sampler.SampleQubo(qubo, options.num_reads,
                               anneal::ResolveSolverRng(options, &local));
@@ -82,8 +87,12 @@ class GroverMinSolver : public anneal::QuboSolver {
         CheckFits(qubo, grover.max_qubits, "Grover minimum finding"));
     GroverMinSampler sampler(grover);
     std::optional<Rng> local;
-    return sampler.SampleQubo(qubo, options.num_reads,
-                              anneal::ResolveSolverRng(options, &local));
+    Rng* rng = anneal::ResolveSolverRng(options, &local);
+    if (!options.noise.IsNoiseless()) {
+      return sampler.SampleQuboNoisy(qubo, options.num_reads,
+                                     ToNoiseModel(options.noise), rng);
+    }
+    return sampler.SampleQubo(qubo, options.num_reads, rng);
   }
   std::string name() const override { return "grover_min"; }
 };

@@ -1,7 +1,9 @@
 #include "qdm/algo/vqe.h"
 
 #include <cmath>
+#include <optional>
 
+#include "qdm/algo/noisy_sampling.h"
 #include "qdm/algo/qaoa.h"
 #include "qdm/common/check.h"
 
@@ -82,6 +84,21 @@ anneal::SampleSet VqeSampler::SampleQubo(const anneal::Qubo& qubo,
     set.Add(anneal::Sample{std::move(x), diag[z], 0.0});
   }
   return set;
+}
+
+anneal::SampleSet VqeSampler::SampleQuboNoisy(
+    const anneal::Qubo& qubo, int num_reads, const sim::NoiseModel& model,
+    const anneal::SolverOptions& options) {
+  QDM_CHECK_LE(qubo.num_variables(), options_.max_qubits)
+      << "VQE statevector backend limited to " << options_.max_qubits
+      << " qubits";
+  Vqe vqe(qubo, options_.layers);
+  NelderMead optimizer;
+  std::optional<Rng> local;
+  Rng* rng = anneal::ResolveSolverRng(options, &local);
+  OptimizationResult opt = vqe.Optimize(&optimizer, options_.restarts, rng);
+  return SampleCircuitNoisy(vqe.ansatz().BindParameters(opt.parameters),
+                            vqe.diagonal(), model, num_reads, options);
 }
 
 }  // namespace algo

@@ -6,7 +6,9 @@
 #include "qdm/algo/optimizers.h"
 #include "qdm/anneal/qubo.h"
 #include "qdm/anneal/sampler.h"
+#include "qdm/anneal/solver.h"
 #include "qdm/circuit/circuit.h"
+#include "qdm/sim/noise.h"
 #include "qdm/sim/statevector.h"
 
 namespace qdm {
@@ -58,6 +60,14 @@ class VqeSampler : public anneal::Sampler {
 
   anneal::SampleSet SampleQubo(const anneal::Qubo& qubo, int num_reads,
                                Rng* rng) override;
+
+  /// Noisy sibling of SampleQubo (docs/noise.md): optimizes noiselessly,
+  /// then samples the bound ansatz circuit under `model` via
+  /// SampleCircuitNoisy (the returned set carries noise_fidelity).
+  anneal::SampleSet SampleQuboNoisy(const anneal::Qubo& qubo, int num_reads,
+                                    const sim::NoiseModel& model,
+                                    const anneal::SolverOptions& options);
+
   std::string name() const override { return "vqe"; }
 
  private:

@@ -36,8 +36,15 @@ class SampleSet {
   /// Fraction of samples whose energy is within `tol` of the best.
   double SuccessRate(double target_energy, double tol = 1e-9) const;
 
+  /// Mean fidelity of the sampled states with the ideal (noiseless) state;
+  /// 1.0 unless the set came through a noisy gate-based backend
+  /// (docs/noise.md). Exact solves and classical backends leave it at 1.0.
+  double noise_fidelity() const { return noise_fidelity_; }
+  void set_noise_fidelity(double fidelity) { noise_fidelity_ = fidelity; }
+
  private:
   std::vector<Sample> samples_;
+  double noise_fidelity_ = 1.0;
 };
 
 /// Abstract QUBO sampler — the "quantum computer" interface of the annealing

@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "qdm/anneal/embedding.h"
+#include "qdm/anneal/noise_spec.h"
 #include "qdm/anneal/qubo.h"
 #include "qdm/anneal/sampler.h"
 #include "qdm/common/rng.h"
@@ -49,6 +50,14 @@ namespace anneal {
 ///                    InvalidArgument. Read only by embedded:* backends.
 ///   chain_break_policy  zero enumerator kMajorityVote is the default;
 ///                    read only by embedded:* backends.
+///   noise            default-constructed NoiseSpec (channel kNone) = exact
+///                    noiseless simulation. Read only by the gate-based
+///                    bridges (qaoa/vqe/grover_min), which then sample
+///                    through the sim/ noise machinery and surface a
+///                    noise_fidelity on the SampleSet; classical backends
+///                    ignore it like any other unknown knob. Normally set
+///                    via the `noisy:<model>:<base>` registry family
+///                    rather than by hand (docs/noise.md).
 ///
 /// Randomness: when `rng` is non-null it is used directly (and `seed` is
 /// ignored); otherwise the solver seeds a local Rng from `seed` (seed 0
@@ -81,6 +90,9 @@ struct SolverOptions {
   // -- Embedded hardware-topology backends (embedded:<base>:<topology>) ------
   double chain_strength = 0.0;
   ChainBreakPolicy chain_break_policy = ChainBreakPolicy::kMajorityVote;
+
+  // -- Noisy gate-based simulation (noisy:<model>:<base>) --------------------
+  NoiseSpec noise;
 };
 
 /// Strategy interface of the hybrid quantum/classical architecture (Figure 2

@@ -15,7 +15,11 @@ namespace qdm {
 /// reproducible from a seed.
 class Rng {
  public:
-  explicit Rng(uint64_t seed = 0x9E3779B97F4A7C15ull) : engine_(seed) {}
+  /// Seed used when none is given (and the zero-means-default mapping of
+  /// anneal::SolverOptions.seed / per-shot seed derivation resolve to it).
+  static constexpr uint64_t kDefaultSeed = 0x9E3779B97F4A7C15ull;
+
+  explicit Rng(uint64_t seed = kDefaultSeed) : engine_(seed) {}
 
   /// Uniform double in [0, 1).
   double Uniform() { return unit_(engine_); }

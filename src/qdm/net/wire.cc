@@ -329,13 +329,21 @@ void AppendSampleSetJson(const SampleSet& samples, std::string* out) {
     JsonAppendDouble(sample.chain_break_fraction, out);
     out->push_back('}');
   }
-  *out += "]}";
+  out->push_back(']');
+  // Emitted only when a noisy backend set it, so noiseless payloads stay
+  // byte-identical to the v1 wire format.
+  if (samples.noise_fidelity() != 1.0) {
+    *out += ",\"noise_fidelity\":";
+    JsonAppendDouble(samples.noise_fidelity(), out);
+  }
+  out->push_back('}');
 }
 
 Result<SampleSet> DecodeSampleSet(const JsonValue& value,
                                   const std::string& field) {
   if (!value.is_object()) return TypeError(field, "a JSON object", value);
-  QDM_RETURN_IF_ERROR(RejectUnknownFields(value, field, {"samples"}));
+  QDM_RETURN_IF_ERROR(
+      RejectUnknownFields(value, field, {"samples", "noise_fidelity"}));
   const JsonValue* samples = value.Find("samples");
   if (samples == nullptr) return MissingError(field + ".samples");
   if (!samples->is_array()) {
@@ -388,6 +396,10 @@ Result<SampleSet> DecodeSampleSet(const JsonValue& value,
   for (size_t s = decoded.size(); s > 0; --s) {
     set.Add(std::move(decoded[s - 1]));
   }
+  QDM_ASSIGN_OR_RETURN(
+      const double fidelity,
+      DecodeDoubleField(value, field, "noise_fidelity", 1.0));
+  set.set_noise_fidelity(fidelity);
   return set;
 }
 

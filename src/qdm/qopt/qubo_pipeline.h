@@ -17,8 +17,12 @@ namespace qopt {
 /// The one recurring shape of the paper's Figure-2 applications: encode a
 /// data-management problem as a Qubo, dispatch it by NAME through the
 /// QuboSolver registry (any name works — "simulated_annealing",
-/// "embedded:<base>:<topology>", "race:<b1>+<b2>", ...), and strict-decode
-/// the best (lowest-energy) sample back into a domain solution.
+/// "embedded:<base>:<topology>", "race:<b1>+<b2>",
+/// "noisy:<model>:<base>", ...), and strict-decode the best
+/// (lowest-energy) sample back into a domain solution. SolverOptions pass
+/// through untouched — including the noise knob, so every application runs
+/// under a NISQ noise model by just switching the solver name
+/// (docs/noise.md).
 ///
 /// Every qopt application (SolveMqo, SolveJoinOrder, SolveSchemaMatching,
 /// SolveTxnSchedule and their batch variants) is a thin adapter over this

@@ -1,19 +1,101 @@
 #include "qdm/sim/noise.h"
 
+#include <algorithm>
 #include <cmath>
+#include <utility>
 
 #include "qdm/common/check.h"
 
 namespace qdm {
 namespace sim {
 
-void TrajectorySimulator::MaybeApplyPauli(Statevector* sv, int qubit, double p,
-                                          Rng* rng) const {
-  if (p <= 0.0 || !rng->Bernoulli(p)) return;
+namespace {
+
+linalg::Matrix PauliMatrix(int index) {
   using circuit::GateKind;
   const GateKind paulis[3] = {GateKind::kX, GateKind::kY, GateKind::kZ};
-  const GateKind chosen = paulis[rng->UniformInt(0, 2)];
-  sv->Apply1Q(circuit::SingleQubitMatrix(chosen, {}), qubit);
+  return circuit::SingleQubitMatrix(paulis[index], {});
+}
+
+/// Materializes one circuit gate as a full-dimension unitary by applying it
+/// to every basis column. 4^n work — only used on the density-matrix
+/// reference path, which is restricted to small n anyway.
+linalg::Matrix FullGateUnitary(const circuit::Gate& gate, int num_qubits) {
+  const uint64_t dim = uint64_t{1} << num_qubits;
+  linalg::Matrix u(dim, dim);
+  for (uint64_t col = 0; col < dim; ++col) {
+    std::vector<Complex> amplitudes(dim, Complex(0, 0));
+    amplitudes[col] = Complex(1, 0);
+    Statevector basis = Statevector::FromAmplitudes(std::move(amplitudes));
+    basis.ApplyGate(gate);
+    for (uint64_t row = 0; row < dim; ++row) u(row, col) = basis.amplitude(row);
+  }
+  return u;
+}
+
+}  // namespace
+
+void TrajectorySimulator::ApplyChannels(Statevector* sv, int qubit,
+                                        double depol_p, Rng* rng) const {
+  // Each active channel consumes exactly one uniform draw: the same u
+  // decides both whether an error fires and which branch is taken, so the
+  // trajectory's draw count depends only on (circuit, model) — never on
+  // earlier branch outcomes (the fixed-draw discipline of docs/noise.md).
+  if (depol_p > 0.0) {
+    const double u = rng->Uniform();
+    if (u < depol_p) {
+      const int index =
+          std::min(2, static_cast<int>(3.0 * u / depol_p));
+      sv->Apply1Q(PauliMatrix(index), qubit);
+    }
+  }
+  const double pauli_total =
+      model_.pauli_px + model_.pauli_py + model_.pauli_pz;
+  if (pauli_total > 0.0) {
+    const double u = rng->Uniform();
+    if (u < model_.pauli_px) {
+      sv->Apply1Q(PauliMatrix(0), qubit);
+    } else if (u < model_.pauli_px + model_.pauli_py) {
+      sv->Apply1Q(PauliMatrix(1), qubit);
+    } else if (u < pauli_total) {
+      sv->Apply1Q(PauliMatrix(2), qubit);
+    }
+  }
+  if (model_.amplitude_damping > 0.0) {
+    // Quantum-jump unraveling: jump with probability ||K1 psi||^2 =
+    // gamma * P(q = 1), otherwise apply the no-jump operator; renormalizing
+    // either branch reproduces the exact channel on average.
+    const double gamma = model_.amplitude_damping;
+    const double p_jump = gamma * sv->ProbabilityOfOne(qubit);
+    const double u = rng->Uniform();
+    if (u < p_jump) {
+      const linalg::Matrix jump{{Complex(0, 0), Complex(1, 0)},
+                                {Complex(0, 0), Complex(0, 0)}};
+      sv->Apply1Q(jump, qubit);
+    } else {
+      const linalg::Matrix no_jump{
+          {Complex(1, 0), Complex(0, 0)},
+          {Complex(0, 0), Complex(std::sqrt(1.0 - gamma), 0)}};
+      sv->Apply1Q(no_jump, qubit);
+    }
+    sv->Normalize();
+  }
+  if (model_.phase_damping > 0.0) {
+    const double lambda = model_.phase_damping;
+    const double p_jump = lambda * sv->ProbabilityOfOne(qubit);
+    const double u = rng->Uniform();
+    if (u < p_jump) {
+      const linalg::Matrix jump{{Complex(0, 0), Complex(0, 0)},
+                                {Complex(0, 0), Complex(1, 0)}};
+      sv->Apply1Q(jump, qubit);
+    } else {
+      const linalg::Matrix no_jump{
+          {Complex(1, 0), Complex(0, 0)},
+          {Complex(0, 0), Complex(std::sqrt(1.0 - lambda), 0)}};
+      sv->Apply1Q(no_jump, qubit);
+    }
+    sv->Normalize();
+  }
 }
 
 Statevector TrajectorySimulator::RunTrajectory(const circuit::Circuit& c,
@@ -23,7 +105,7 @@ Statevector TrajectorySimulator::RunTrajectory(const circuit::Circuit& c,
     sv.ApplyGate(gate);
     const double p = gate.qubits.size() == 1 ? model_.depolarizing_1q
                                              : model_.depolarizing_2q;
-    for (int q : gate.qubits) MaybeApplyPauli(&sv, q, p, rng);
+    for (int q : gate.qubits) ApplyChannels(&sv, q, p, rng);
   }
   return sv;
 }
@@ -38,11 +120,17 @@ std::map<uint64_t, int> TrajectorySimulator::Sample(const circuit::Circuit& c,
     return counts;
   }
   for (int s = 0; s < shots; ++s) {
-    Statevector sv = RunTrajectory(c, rng);
-    uint64_t outcome = sv.SampleBasisState(rng);
+    // One engine draw of the caller's Rng seeds the whole shot, so shot k
+    // is a pure function of the k-th draw — independent of how many random
+    // numbers earlier shots' error branches consumed.
+    Rng shot_rng(rng->engine()());
+    Statevector sv = RunTrajectory(c, &shot_rng);
+    uint64_t outcome = sv.SampleBasisState(&shot_rng);
     if (model_.readout_flip > 0.0) {
       for (int q = 0; q < c.num_qubits(); ++q) {
-        if (rng->Bernoulli(model_.readout_flip)) outcome ^= uint64_t{1} << q;
+        if (shot_rng.Bernoulli(model_.readout_flip)) {
+          outcome ^= uint64_t{1} << q;
+        }
       }
     }
     ++counts[outcome];
@@ -59,9 +147,36 @@ double TrajectorySimulator::AverageDiagonalExpectation(
   }
   double total = 0.0;
   for (int t = 0; t < trajectories; ++t) {
-    total += RunTrajectory(c, rng).ExpectationDiagonal(diagonal);
+    Rng shot_rng(rng->engine()());
+    total += RunTrajectory(c, &shot_rng).ExpectationDiagonal(diagonal);
   }
   return total / trajectories;
+}
+
+DensityMatrix EvolveDensityMatrix(const circuit::Circuit& c,
+                                  const NoiseModel& model) {
+  DensityMatrix rho(c.num_qubits());
+  const double pauli_total = model.pauli_px + model.pauli_py + model.pauli_pz;
+  for (const circuit::Gate& gate : c.gates()) {
+    rho.ApplyUnitary(FullGateUnitary(gate, c.num_qubits()));
+    const double depol = gate.qubits.size() == 1 ? model.depolarizing_1q
+                                                 : model.depolarizing_2q;
+    // Same channel order per operand qubit as RunTrajectory.
+    for (int q : gate.qubits) {
+      if (depol > 0.0) rho.ApplyKraus1Q(DepolarizingKraus(depol), q);
+      if (pauli_total > 0.0) {
+        rho.ApplyKraus1Q(
+            PauliKraus(model.pauli_px, model.pauli_py, model.pauli_pz), q);
+      }
+      if (model.amplitude_damping > 0.0) {
+        rho.ApplyKraus1Q(AmplitudeDampingKraus(model.amplitude_damping), q);
+      }
+      if (model.phase_damping > 0.0) {
+        rho.ApplyKraus1Q(PhaseDampingKraus(model.phase_damping), q);
+      }
+    }
+  }
+  return rho;
 }
 
 std::vector<linalg::Matrix> DepolarizingKraus(double p) {
@@ -75,6 +190,16 @@ std::vector<linalg::Matrix> DepolarizingKraus(double p) {
   Matrix z = circuit::SingleQubitMatrix(circuit::GateKind::kZ, {});
   return {i * Complex(k0, 0), x * Complex(kp, 0), y * Complex(kp, 0),
           z * Complex(kp, 0)};
+}
+
+std::vector<linalg::Matrix> PauliKraus(double px, double py, double pz) {
+  QDM_CHECK(px >= 0.0 && py >= 0.0 && pz >= 0.0 && px + py + pz <= 1.0);
+  using linalg::Matrix;
+  Matrix i = circuit::SingleQubitMatrix(circuit::GateKind::kI, {});
+  return {i * Complex(std::sqrt(1.0 - px - py - pz), 0),
+          PauliMatrix(0) * Complex(std::sqrt(px), 0),
+          PauliMatrix(1) * Complex(std::sqrt(py), 0),
+          PauliMatrix(2) * Complex(std::sqrt(pz), 0)};
 }
 
 std::vector<linalg::Matrix> AmplitudeDampingKraus(double gamma) {

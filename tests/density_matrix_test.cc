@@ -164,6 +164,74 @@ TEST(TrajectorySimulatorTest, ReadoutFlipRandomizesOutput) {
   EXPECT_NEAR(counts[1] / 20000.0, 0.25, 0.02);
 }
 
+// -- FromStatevector <-> trajectory cross-checks -----------------------------
+
+/// Entangling 4-qubit circuit reused by the cross-check tests below.
+Circuit CrossCheckCircuit() {
+  Circuit c(4);
+  c.H(0).CX(0, 1).RY(2, 0.9).CX(1, 2).RZZ(2, 3, 0.6).RX(3, 1.2).CZ(0, 3);
+  return c;
+}
+
+/// FromStatevector(RunCircuit(c)) and the noiseless density-matrix /
+/// trajectory evolutions must agree regardless of how the state-vector
+/// kernels are scheduled. serial_cutoff = 1 forces the parallel kernels even
+/// on 16-amplitude states, so thread count genuinely varies the execution.
+void CheckStatevectorTrajectoryAgreement(int num_threads) {
+  const ExecutionConfig saved = Statevector::DefaultExecutionConfig();
+  ExecutionConfig config = saved;
+  config.num_threads = num_threads;
+  config.serial_cutoff = 1;
+  Statevector::SetDefaultExecutionConfig(config);
+
+  const Circuit c = CrossCheckCircuit();
+  const Statevector exact = RunCircuit(c);
+  const DensityMatrix pure = DensityMatrix::FromStatevector(exact);
+
+  // Noiseless EvolveDensityMatrix is exactly |psi><psi| of the statevector.
+  const DensityMatrix evolved = EvolveDensityMatrix(c, NoiseModel{});
+  EXPECT_TRUE(evolved.matrix().ApproxEqual(pure.matrix(), 1e-10))
+      << num_threads << " threads";
+  EXPECT_NEAR(evolved.FidelityWithPure(exact), 1.0, 1e-10)
+      << num_threads << " threads";
+
+  // A noiseless trajectory is the statevector itself.
+  TrajectorySimulator noiseless{NoiseModel{}};
+  Rng rng(31);
+  const Statevector trajectory = noiseless.RunTrajectory(c, &rng);
+  EXPECT_NEAR(DensityMatrix::FromStatevector(trajectory)
+                  .FidelityWithPure(exact),
+              1.0, 1e-10)
+      << num_threads << " threads";
+
+  // Under noise, the trajectory-ensemble fidelity against the evolved
+  // density matrix converges: mean_t <t| rho |t> -> Tr(rho^2) as the
+  // trajectory mixture reproduces rho.
+  NoiseModel model;
+  model.depolarizing_1q = 0.06;
+  model.amplitude_damping = 0.08;
+  const DensityMatrix rho = EvolveDensityMatrix(c, model);
+  TrajectorySimulator sim(model);
+  Rng noisy_rng(37);
+  double overlap = 0.0;
+  const int kTrajectories = 4000;
+  for (int t = 0; t < kTrajectories; ++t) {
+    overlap += rho.FidelityWithPure(sim.RunTrajectory(c, &noisy_rng));
+  }
+  overlap /= kTrajectories;
+  EXPECT_NEAR(overlap, rho.Purity(), 0.02) << num_threads << " threads";
+
+  Statevector::SetDefaultExecutionConfig(saved);
+}
+
+TEST(TrajectorySimulatorTest, MatchesFromStatevectorSingleThreaded) {
+  CheckStatevectorTrajectoryAgreement(1);
+}
+
+TEST(TrajectorySimulatorTest, MatchesFromStatevectorEightThreads) {
+  CheckStatevectorTrajectoryAgreement(8);
+}
+
 }  // namespace
 }  // namespace sim
 }  // namespace qdm

@@ -1,0 +1,212 @@
+// Property tests for the sim/ noise machinery (docs/noise.md): Kraus
+// completeness of every channel, trace preservation and positivity of the
+// density-matrix evolution, trajectory-average convergence to the exact
+// channel semantics, zero-noise as a bit-identical no-op, and the
+// fixed-draw / per-shot-Rng determinism discipline of the trajectory
+// simulator.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+#include <vector>
+
+#include "qdm/circuit/circuit.h"
+#include "qdm/common/rng.h"
+#include "qdm/sim/density_matrix.h"
+#include "qdm/sim/noise.h"
+#include "qdm/sim/statevector.h"
+
+namespace qdm {
+namespace sim {
+namespace {
+
+using circuit::Circuit;
+
+// Sum_k K^dagger K must be the identity (a trace-preserving channel).
+void ExpectKrausComplete(const std::vector<linalg::Matrix>& kraus,
+                         const char* label) {
+  ASSERT_FALSE(kraus.empty()) << label;
+  linalg::Matrix sum(kraus[0].cols(), kraus[0].cols());
+  for (const linalg::Matrix& k : kraus) sum = sum + k.Adjoint() * k;
+  EXPECT_TRUE(sum.ApproxEqual(linalg::Matrix::Identity(sum.rows()), 1e-12))
+      << label << ": sum K^t K != I\n"
+      << sum.ToString();
+}
+
+TEST(NoiseChannelTest, KrausCompletenessForEveryChannel) {
+  for (double p : {0.0, 0.01, 0.25, 0.7, 1.0}) {
+    ExpectKrausComplete(DepolarizingKraus(p), "depolarizing");
+    ExpectKrausComplete(AmplitudeDampingKraus(p), "amplitude damping");
+    ExpectKrausComplete(PhaseDampingKraus(p), "phase damping");
+  }
+  ExpectKrausComplete(PauliKraus(0.0, 0.0, 0.0), "pauli zero");
+  ExpectKrausComplete(PauliKraus(0.1, 0.2, 0.3), "pauli mixed");
+  ExpectKrausComplete(PauliKraus(0.5, 0.25, 0.25), "pauli saturated");
+}
+
+Statevector RandomState(int num_qubits, Rng* rng) {
+  std::vector<Complex> amplitudes(uint64_t{1} << num_qubits);
+  for (Complex& a : amplitudes) a = Complex(rng->Gaussian(), rng->Gaussian());
+  return Statevector::FromAmplitudes(std::move(amplitudes),
+                                     /*normalize=*/true);
+}
+
+// <phi| rho |phi> for a random |phi> — a nonnegative quadratic form is the
+// operational meaning of positivity.
+double QuadraticForm(const DensityMatrix& rho, const Statevector& phi) {
+  const std::vector<Complex> image = rho.matrix().Apply(phi.amplitudes());
+  Complex form(0, 0);
+  for (size_t i = 0; i < image.size(); ++i) {
+    form += std::conj(phi.amplitudes()[i]) * image[i];
+  }
+  return form.real();
+}
+
+TEST(NoiseChannelTest, ChannelsPreserveTraceAndPositivityOnRandomStates) {
+  Rng rng(11);
+  const std::vector<std::vector<linalg::Matrix>> channels = {
+      DepolarizingKraus(0.2), PauliKraus(0.1, 0.05, 0.2),
+      AmplitudeDampingKraus(0.35), PhaseDampingKraus(0.5)};
+  for (int trial = 0; trial < 8; ++trial) {
+    DensityMatrix rho = DensityMatrix::FromStatevector(RandomState(3, &rng));
+    for (const auto& kraus : channels) {
+      rho.ApplyKraus1Q(kraus, trial % 3);
+    }
+    EXPECT_NEAR(rho.matrix().Trace().real(), 1.0, 1e-10);
+    EXPECT_TRUE(rho.matrix().IsHermitian(1e-10));
+    EXPECT_LE(rho.Purity(), 1.0 + 1e-10);
+    for (int probe = 0; probe < 6; ++probe) {
+      EXPECT_GE(QuadraticForm(rho, RandomState(3, &rng)), -1e-10);
+    }
+  }
+}
+
+Circuit SmallTestCircuit() {
+  Circuit c(3);
+  c.H(0).CX(0, 1).RY(2, 0.7).RZZ(1, 2, 0.4).RX(0, 0.9);
+  return c;
+}
+
+TEST(NoiseChannelTest, EvolveDensityMatrixPreservesTraceAndPositivity) {
+  NoiseModel model;
+  model.depolarizing_1q = 0.05;
+  model.depolarizing_2q = 0.1;
+  model.pauli_pz = 0.02;
+  model.amplitude_damping = 0.08;
+  model.phase_damping = 0.04;
+  DensityMatrix rho = EvolveDensityMatrix(SmallTestCircuit(), model);
+  EXPECT_NEAR(rho.matrix().Trace().real(), 1.0, 1e-9);
+  EXPECT_TRUE(rho.matrix().IsHermitian(1e-9));
+  Rng rng(5);
+  for (int probe = 0; probe < 10; ++probe) {
+    EXPECT_GE(QuadraticForm(rho, RandomState(3, &rng)), -1e-9);
+  }
+}
+
+double DiagonalExpectation(const DensityMatrix& rho,
+                           const std::vector<double>& diagonal) {
+  double total = 0.0;
+  for (size_t z = 0; z < rho.dimension(); ++z) {
+    total += diagonal[z] * rho.matrix()(z, z).real();
+  }
+  return total;
+}
+
+TEST(NoiseChannelTest, TrajectoryAverageMatchesDensityMatrix) {
+  const Circuit c = SmallTestCircuit();
+  std::vector<double> diagonal(8);
+  for (size_t z = 0; z < diagonal.size(); ++z) {
+    diagonal[z] = 0.3 * static_cast<double>(z) - 1.0;
+  }
+  // One model per channel family so a bug in any single unraveling cannot
+  // hide behind the others.
+  NoiseModel depol;
+  depol.depolarizing_1q = 0.08;
+  depol.depolarizing_2q = 0.15;
+  NoiseModel pauli;
+  pauli.pauli_px = 0.06;
+  pauli.pauli_py = 0.03;
+  pauli.pauli_pz = 0.1;
+  NoiseModel damping;
+  damping.amplitude_damping = 0.12;
+  damping.phase_damping = 0.09;
+  int seed = 23;
+  for (const NoiseModel& model : {depol, pauli, damping}) {
+    const double exact =
+        DiagonalExpectation(EvolveDensityMatrix(c, model), diagonal);
+    TrajectorySimulator sim(model);
+    Rng rng(seed++);
+    const double averaged =
+        sim.AverageDiagonalExpectation(c, diagonal, 20000, &rng);
+    EXPECT_NEAR(averaged, exact, 0.02);
+  }
+}
+
+TEST(NoiseChannelTest, ZeroNoiseTrajectoryIsBitIdenticalNoOp) {
+  const Circuit c = SmallTestCircuit();
+  const Statevector exact = RunCircuit(c);
+  // Every channel present but at rate zero: not just the IsNoiseless fast
+  // path — the per-gate injection must also skip cleanly.
+  NoiseModel zero;
+  EXPECT_TRUE(zero.IsNoiseless());
+  TrajectorySimulator sim(zero);
+  Rng rng(7);
+  const Statevector trajectory = sim.RunTrajectory(c, &rng);
+  ASSERT_EQ(trajectory.dimension(), exact.dimension());
+  for (uint64_t z = 0; z < exact.dimension(); ++z) {
+    EXPECT_EQ(trajectory.amplitude(z), exact.amplitude(z)) << "z=" << z;
+  }
+  // The trajectory consumed no randomness: the engine stream is untouched.
+  Rng untouched(7);
+  EXPECT_EQ(rng.engine()(), untouched.engine()());
+}
+
+std::map<uint64_t, int> MergeCounts(const std::map<uint64_t, int>& a,
+                                    const std::map<uint64_t, int>& b) {
+  std::map<uint64_t, int> merged = a;
+  for (const auto& [outcome, count] : b) merged[outcome] += count;
+  return merged;
+}
+
+// Regression pin for the MaybeApplyPauli draw-count bug: shot k's randomness
+// must be a pure function of the k-th engine draw of the caller's Rng,
+// independent of how many random numbers earlier shots' error branches
+// consumed. If that holds, sampling 4 shots in one call equals sampling
+// shot 0 in one call plus shots 1-3 in another whose Rng skipped exactly
+// one engine draw — with the old shared-stream loop this decomposition
+// breaks as soon as any shot draws an error.
+TEST(NoiseChannelTest, ShotPrefixIndependenceRegression) {
+  const Circuit c = SmallTestCircuit();
+  NoiseModel model;
+  model.depolarizing_1q = 0.4;  // High rate: branch outcomes vary per shot.
+  model.amplitude_damping = 0.2;
+  model.readout_flip = 0.1;
+  TrajectorySimulator sim(model);
+
+  const uint64_t kSeed = 99;
+  Rng all_rng(kSeed);
+  const auto all = sim.Sample(c, 4, &all_rng);
+
+  Rng head_rng(kSeed);
+  const auto head = sim.Sample(c, 1, &head_rng);
+  Rng tail_rng(kSeed);
+  (void)tail_rng.engine()();  // Discard shot 0's seed.
+  const auto tail = sim.Sample(c, 3, &tail_rng);
+
+  EXPECT_EQ(all, MergeCounts(head, tail));
+}
+
+TEST(NoiseChannelTest, SampleIsDeterministicFromSeed) {
+  const Circuit c = SmallTestCircuit();
+  NoiseModel model;
+  model.pauli_px = 0.2;
+  model.phase_damping = 0.3;
+  TrajectorySimulator sim(model);
+  Rng a(123), b(123);
+  EXPECT_EQ(sim.Sample(c, 32, &a), sim.Sample(c, 32, &b));
+}
+
+}  // namespace
+}  // namespace sim
+}  // namespace qdm
