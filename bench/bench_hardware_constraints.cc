@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "qdm/algo/qaoa.h"
+#include "qdm/anneal/backend_cache.h"
 #include "qdm/anneal/chimera.h"
 #include "qdm/anneal/embedded_solver.h"
 #include "qdm/anneal/embedding.h"
@@ -238,6 +239,8 @@ int main(int argc, char** argv) {
   qdm_bench::MetricsJson metrics;
   qdm::TablePrinter summary({"backend", "hw qubits", "max chain",
                              "chain breaks", "items/s (t=1)"});
+  const qdm::anneal::BackendCacheStats cache_before =
+      qdm::anneal::GetBackendCacheStats();
   for (const char* backend : kSweepBackends) {
     auto solver = registry.Create(backend);
     QDM_CHECK(solver.ok()) << solver.status();
@@ -280,6 +283,33 @@ int main(int argc, char** argv) {
                     qdm::StrFormat("%.3f", break_fraction), "see sweep above"});
   }
   std::printf("E14.6: per-topology summary\n%s\n", summary.ToString().c_str());
+
+  // Cache-effectiveness gate: the sweep's topology/plan traffic through
+  // backend_cache.h is a pure function of the fixed workload under
+  // --sweep-only (the CI invocation — the gated JSON is only written
+  // there), so the construction/hit deltas are recorded as EXACT metrics.
+  // A regression back to per-instance construction shows up as a
+  // constructions jump (and hits drop) against the pinned baseline.
+  const qdm::anneal::BackendCacheStats cache_after =
+      qdm::anneal::GetBackendCacheStats();
+  const double topo_constructions = static_cast<double>(
+      cache_after.topology_constructions - cache_before.topology_constructions);
+  const double topo_hits = static_cast<double>(cache_after.topology_hits -
+                                               cache_before.topology_hits);
+  const double plan_constructions =
+      static_cast<double>(cache_after.embedding_constructions -
+                          cache_before.embedding_constructions);
+  const double plan_hits = static_cast<double>(cache_after.embedding_hits -
+                                               cache_before.embedding_hits);
+  metrics.AddExact("hw_cache_topology_constructions", topo_constructions);
+  metrics.AddExact("hw_cache_topology_hits", topo_hits);
+  metrics.AddExact("hw_cache_embedding_constructions", plan_constructions);
+  metrics.AddExact("hw_cache_embedding_hits", plan_hits);
+  std::printf(
+      "Backend-cache effectiveness across the sweep: %g topology\n"
+      "constructions / %g hits, %g embedding-plan constructions / %g hits\n"
+      "(exact-gated; one construction per distinct artifact).\n\n",
+      topo_constructions, topo_hits, plan_constructions, plan_hits);
 
   if (flags.json_path != nullptr) metrics.WriteTo(flags.json_path);
   return 0;

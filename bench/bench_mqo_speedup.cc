@@ -11,6 +11,7 @@
 
 #include <chrono>
 #include <cstdio>
+#include <string>
 #include <vector>
 
 #include "qdm/anneal/solver.h"
@@ -71,11 +72,15 @@ void RunBatchSweep(const qdm_bench::SweepFlags& flags,
 }
 
 // Portfolio sweep: the same MQO batch through a "race:*" backend vs each
-// member alone. Reports items/s per arm (the racing overhead is the metric —
-// a race pays for every member it runs) and best-energy win rates of the
-// portfolio against each solo member, recorded as exact metrics: they are
-// pure functions of the seeds, so any drift is a behavior change the perf
-// gate should catch.
+// member alone, plus the "adaptive:*" selector over the same members.
+// Reports items/s per arm (the racing overhead is the metric — a race pays
+// for every member it runs, while the adaptive selector stops paying the
+// losing member after its explore window) and best-energy win rates of the
+// race against each solo member, recorded as exact metrics: they are pure
+// functions of the seeds, so any drift is a behavior change the perf gate
+// should catch. The adaptive arm's committed member index is likewise
+// seed-exact, and its items/s advantage over the race is asserted at bench
+// runtime.
 void RunPortfolioSweep(const qdm_bench::SweepFlags& flags,
                        qdm_bench::MetricsJson* metrics) {
   const int kInstances = 32;
@@ -99,6 +104,7 @@ void RunPortfolioSweep(const qdm_bench::SweepFlags& flags,
       {"simulated_annealing", "sa"},
       {"tabu_search", "tabu"},
       {"race:simulated_annealing+tabu_search", "race"},
+      {"adaptive:simulated_annealing+tabu_search", "adaptive"},
   };
   using Batch = std::vector<qdm::anneal::SampleSet>;
   std::vector<Batch> reference;
@@ -135,10 +141,10 @@ void RunPortfolioSweep(const qdm_bench::SweepFlags& flags,
   }
 
   // Best-energy scoreboard: the race vs each solo member, per instance.
-  const Batch& race = reference.back();
+  const Batch& race = reference[2];
   qdm::TablePrinter table(
       {"vs member", "race wins", "ties", "losses", "win rate"});
-  for (size_t m = 0; m + 1 < reference.size(); ++m) {
+  for (size_t m = 0; m < 2; ++m) {
     int wins = 0, ties = 0, losses = 0;
     for (int i = 0; i < kInstances; ++i) {
       const double race_best = race[i].best().energy;
@@ -169,6 +175,40 @@ void RunPortfolioSweep(const qdm_bench::SweepFlags& flags,
       "race:simulated_annealing+tabu_search\nagainst each member alone "
       "(win = strictly lower energy on that instance).\n%s\n",
       table.ToString().c_str());
+
+  // Adaptive selector head-to-head: on this batch the selector races both
+  // members for 8 explore instances, then commits to the win-rate winner
+  // for the remaining 24 — about 40 member-solves against the race's 64 —
+  // so its items/s must beat the race on the same seeds. The committed arm
+  // index is a pure function of the seeds ("commit:<arm>:<member>" on every
+  // post-explore SampleSet), recorded as an exact perf-gate metric.
+  const Batch& adaptive = reference[3];
+  const std::string& decision = adaptive.back().decision();
+  const std::vector<std::string> decision_parts = qdm::StrSplit(decision, ':');
+  QDM_CHECK(decision_parts.size() == 3 && decision_parts[0] == "commit")
+      << "adaptive arm ended the batch without a commit decision: '"
+      << decision << "'";
+  metrics->AddExact("mqo_adaptive_commit_arm",
+                    std::stod(decision_parts[1]));
+  const auto timed_items_per_s = [&qubos, &options](const char* solver) {
+    const auto start = std::chrono::steady_clock::now();
+    auto sets = qdm::anneal::SolveBatchParallel(solver, qubos, options,
+                                                /*num_threads=*/4);
+    QDM_CHECK(sets.ok()) << solver << ": " << sets.status();
+    return 1000.0 * kInstances / MillisSince(start);
+  };
+  const double race_items_per_s = timed_items_per_s(kArms[2].solver);
+  const double adaptive_items_per_s = timed_items_per_s(kArms[3].solver);
+  QDM_CHECK(adaptive_items_per_s > race_items_per_s)
+      << "adaptive did not beat race on the skewed MQO batch ("
+      << adaptive_items_per_s << " vs " << race_items_per_s << " items/s)";
+  std::printf(
+      "Adaptive head-to-head (4 threads): adaptive %.1f items/s vs race "
+      "%.1f\nitems/s (%.2fx); committed to arm %s ('%s') after the "
+      "8-instance\nexplore window.\n\n",
+      adaptive_items_per_s, race_items_per_s,
+      adaptive_items_per_s / race_items_per_s, decision_parts[1].c_str(),
+      decision_parts[2].c_str());
 }
 
 // Noise sweep: the same MQO QUBOs through the "noisy:<model>:qaoa" family

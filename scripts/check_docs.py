@@ -6,16 +6,18 @@ Verifies three invariants so docs/ cannot silently drift from the code:
   1. Every docs/*.md page is linked from README.md.
   2. Every relative markdown link in README.md and docs/*.md resolves to an
      existing file (anchors are stripped; http(s)/mailto links are skipped).
-  3. Every concrete "embedded:<base>:<topology>" or "race:<b1>+<b2>+..."
-     registry-name example anywhere in README.md or docs/*.md (prose, inline
-     code, fenced blocks) resolves in the SolverRegistry: first against the
-     output of the list_solvers dump binary (--solver-names FILE, one
+  3. Every concrete "embedded:<base>:<topology>", "race:<b1>+<b2>+...",
+     "noisy:<model>:<base>" or "adaptive:<b1>+<b2>+..." registry-name
+     example anywhere in README.md or docs/*.md (prose, inline code, fenced
+     blocks) resolves in the SolverRegistry: first against the output of
+     the list_solvers dump binary (--solver-names FILE, one
      exactly-registered name per line), then — for names the registry
-     resolves dynamically via its "embedded:" / "race:" prefixes — by
-     invoking `list_solvers --check NAME` when --list-solvers-bin is given.
-     Scheme placeholders like `embedded:<base>:<topology>` or
-     `race:<b1>+<b2>` and globs like `embedded:*` / `race:*` are ignored —
-     only fully-concrete names are checked.
+     resolves dynamically via its "embedded:" / "race:" / "noisy:" /
+     "adaptive:" prefixes — by invoking `list_solvers --check NAME` when
+     --list-solvers-bin is given. Scheme placeholders like
+     `embedded:<base>:<topology>` or `adaptive:<b1>+<b2>` and globs like
+     `embedded:*` / `race:*` / `adaptive:*` are ignored — only
+     fully-concrete names are checked.
 
 Usage:
   ./build/examples/list_solvers > /tmp/solver_names.txt
@@ -44,8 +46,11 @@ NOISY_NAME_RE = re.compile(
 # concrete noisy:* name.
 _RACE_MEMBER = (rf"(?:noisy:{_NOISE_MODEL}:(?:{_EMBEDDED_NAME}|[a-z0-9_]+)"
                 rf"|{_EMBEDDED_NAME}|[a-z0-9_]+)")
-# Fully-concrete portfolio names: race:<member>+<member>[+...].
+# Fully-concrete portfolio names: race:<member>+<member>[+...]. The
+# adaptive selector takes the same member grammar (selectors don't nest).
 RACE_NAME_RE = re.compile(rf"^race:{_RACE_MEMBER}(?:\+{_RACE_MEMBER})+$")
+ADAPTIVE_NAME_RE = re.compile(
+    rf"^adaptive:{_RACE_MEMBER}(?:\+{_RACE_MEMBER})+$")
 # Per dynamically-resolved family: (candidate-token regex — includes
 # placeholder/glob forms, which the name regex then filters out; concrete
 # registry-name regex).
@@ -53,6 +58,7 @@ NAME_FAMILIES = [
     (re.compile(r"embedded:[A-Za-z0-9_:*<>x-]+"), EMBEDDED_NAME_RE),
     (re.compile(r"race:[A-Za-z0-9_:*<>@.,x+-]+"), RACE_NAME_RE),
     (re.compile(r"noisy:[A-Za-z0-9_:*<>@.,x-]+"), NOISY_NAME_RE),
+    (re.compile(r"adaptive:[A-Za-z0-9_:*<>@.,x+-]+"), ADAPTIVE_NAME_RE),
 ]
 
 
@@ -118,7 +124,8 @@ def main():
             if not os.path.exists(path):
                 errors.append(f"{rel}: broken link -> {target}")
 
-        # 3. Concrete embedded:* / race:* registry-name examples resolve.
+        # 3. Concrete embedded:* / race:* / noisy:* / adaptive:*
+        # registry-name examples resolve.
         for token_re, name_re in NAME_FAMILIES:
             for token in sorted(set(token_re.findall(text))):
                 if not name_re.match(token):

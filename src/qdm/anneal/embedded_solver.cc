@@ -2,27 +2,35 @@
 
 #include <utility>
 
+#include "qdm/anneal/backend_cache.h"
 #include "qdm/common/strings.h"
 
 namespace qdm {
 namespace anneal {
 
 EmbeddedSolver::EmbeddedSolver(std::string registry_name, std::string base_name,
+                               std::unique_ptr<QuboSolver> base,
                                std::shared_ptr<const HardwareTopology> topology)
     : registry_name_(std::move(registry_name)),
       base_name_(std::move(base_name)),
+      base_(std::move(base)),
       topology_(std::move(topology)) {
+  QDM_CHECK(base_ != nullptr);
   QDM_CHECK(topology_ != nullptr);
 }
 
 Result<SampleSet> EmbeddedSolver::Solve(const Qubo& qubo,
                                         const SolverOptions& options) {
   QDM_RETURN_IF_ERROR(ValidateSolverOptions(options));
-  QDM_ASSIGN_OR_RETURN(Embedding embedding,
-                       CliqueEmbedding(qubo.num_variables(), *topology_));
+  // The clique plan depends only on (topology, problem size) — served by
+  // the process-wide cache, so repeated solves of same-sized problems skip
+  // the TRIAD construction entirely.
+  QDM_ASSIGN_OR_RETURN(
+      std::shared_ptr<const Embedding> embedding,
+      GetCachedCliqueEmbedding(qubo.num_variables(), *topology_));
   QDM_ASSIGN_OR_RETURN(
       EmbeddedQubo embedded,
-      EmbedQubo(qubo, embedding, *topology_, options.chain_strength));
+      EmbedQubo(qubo, *embedding, *topology_, options.chain_strength));
 
   // EmbedQubo's physical model spans every hardware qubit, but only chain
   // qubits carry terms; dispatching it whole would make the base backend
@@ -52,12 +60,11 @@ Result<SampleSet> EmbeddedSolver::Solve(const Qubo& qubo,
     compact.AddQuadratic(dense_of_hw[key.first], dense_of_hw[key.second], w);
   }
 
-  QDM_ASSIGN_OR_RETURN(std::unique_ptr<QuboSolver> base,
-                       SolverRegistry::Global().Create(base_name_));
-  // The base backend reads its own knobs from the same options struct; the
-  // embedding knobs it does not understand are ignored per the solver.h
-  // convention.
-  Result<SampleSet> compact_samples = base->Solve(compact, options);
+  // The base backend is owned and reused across Solve calls (an
+  // EmbeddedSolver instance is never shared across threads). It reads its
+  // own knobs from the same options struct; the embedding knobs it does not
+  // understand are ignored per the solver.h convention.
+  Result<SampleSet> compact_samples = base_->Solve(compact, options);
   if (!compact_samples.ok()) {
     return Status(compact_samples.status().code(),
                   StrFormat("base '%s' on %s: %s", base_name_.c_str(),
@@ -99,17 +106,22 @@ Result<std::unique_ptr<QuboSolver>> MakeEmbeddedSolver(
     return Status::InvalidArgument(StrFormat(
         "nested embedded backends are not supported ('%s')", name.c_str()));
   }
-  if (!SolverRegistry::Global().Contains(base)) {
+  // Resolve the base here (it is owned and reused by the instance, not
+  // re-Created per Solve). The base token is colon-free by construction, so
+  // any Create failure means an unknown plain name — reported with the
+  // embedded framing rather than the registry's own NotFound.
+  Result<std::unique_ptr<QuboSolver>> base_solver =
+      SolverRegistry::Global().Create(base);
+  if (!base_solver.ok()) {
     return Status::NotFound(StrFormat(
         "embedded solver '%s' wraps unknown base '%s' (registered: %s)",
         name.c_str(), base.c_str(),
         StrJoin(SolverRegistry::Global().RegisteredNames(), ", ").c_str()));
   }
-  QDM_ASSIGN_OR_RETURN(std::unique_ptr<HardwareTopology> topology,
-                       MakeTopology(topology_spec));
+  QDM_ASSIGN_OR_RETURN(std::shared_ptr<const HardwareTopology> topology,
+                       GetCachedTopology(topology_spec));
   return std::unique_ptr<QuboSolver>(std::make_unique<EmbeddedSolver>(
-      name, base,
-      std::shared_ptr<const HardwareTopology>(std::move(topology))));
+      name, base, std::move(base_solver).value(), std::move(topology)));
 }
 
 bool RegisterEmbeddedSolvers() {

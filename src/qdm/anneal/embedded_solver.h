@@ -24,12 +24,24 @@ namespace anneal {
 /// "embedded:simulated_annealing:pegasus:6" honors num_sweeps exactly like
 /// "simulated_annealing". Determinism: the embedding is a pure function of
 /// (problem size, topology), so seed-derived batch solving through
-/// SolveBatchParallel stays bit-identical at any thread count.
+/// SolveBatchParallel stays bit-identical at any thread count — and a
+/// cached embedding plan (backend_cache.h) is bit-identical to a freshly
+/// built one for the same reason.
+///
+/// Construction cost: the topology graph comes from the process-wide
+/// backend cache (a shared_ptr lookup after first use), the base backend is
+/// built ONCE here and reused across Solve calls, and the clique-embedding
+/// plan for each problem size is cached process-wide — so creating and
+/// running an embedded:* backend per batch WORKER (see SolveBatchParallel)
+/// costs construction only on first touch.
 class EmbeddedSolver : public QuboSolver {
  public:
   /// `registry_name` is what name() reports — the full "embedded:..." string
   /// the instance was created under, so it can be re-Created by name.
+  /// `base` is the owned base backend (its registry name in `base_name`,
+  /// kept for error messages and re-creation).
   EmbeddedSolver(std::string registry_name, std::string base_name,
+                 std::unique_ptr<QuboSolver> base,
                  std::shared_ptr<const HardwareTopology> topology);
 
   Result<SampleSet> Solve(const Qubo& qubo,
@@ -42,6 +54,7 @@ class EmbeddedSolver : public QuboSolver {
  private:
   std::string registry_name_;
   std::string base_name_;
+  std::unique_ptr<QuboSolver> base_;
   std::shared_ptr<const HardwareTopology> topology_;
 };
 

@@ -40,6 +40,35 @@ Result<SampleSet> NoisySolver::Solve(const Qubo& qubo,
   return samples;
 }
 
+Result<std::vector<SampleSet>> NoisySolver::SolveBatchThreaded(
+    const std::vector<Qubo>& qubos, const SolverOptions& options,
+    int num_threads) {
+  // Reached only when the base solves whole batches (the adaptive:*
+  // selector): forward the batch with the same options transform Solve
+  // applies per instance — the noise spec is seed-independent, so
+  // injecting it before or after per-instance seed derivation is
+  // equivalent, and the base keeps its cross-instance schedule.
+  if (options.noise.channel != NoiseChannel::kNone) {
+    // The sequential reference reports this per instance; instance 0 is
+    // the lowest-index failure.
+    return AnnotateBatchInstanceError(
+        Status::InvalidArgument(StrFormat(
+            "solver '%s': options.noise is already set ('%s'); a noisy:* "
+            "backend supplies its own model",
+            registry_name_.c_str(), options.noise.ToString().c_str())),
+        0, qubos.size());
+  }
+  if (spec_.IsNoiseless()) {
+    return base_->SolveBatchThreaded(qubos, options, num_threads);
+  }
+  SolverOptions noisy = options;
+  noisy.noise = spec_;
+  // Base failures keep the base's own framing here (the per-instance
+  // "noisy base" prefix of Solve cannot be threaded through the base's
+  // batch annotation); status codes are unchanged.
+  return base_->SolveBatchThreaded(qubos, noisy, num_threads);
+}
+
 Result<std::unique_ptr<QuboSolver>> MakeNoisySolver(const std::string& name) {
   const std::string kPrefix = "noisy:";
   if (!StartsWith(name, kPrefix)) {

@@ -27,6 +27,16 @@ class NoisySolver : public QuboSolver {
 
   Result<SampleSet> Solve(const Qubo& qubo,
                           const SolverOptions& options) override;
+  /// Whole-batch orchestration forwards to the base (see solver.h): a
+  /// wrapped adaptive:* selector keeps its explore/commit schedule — and
+  /// therefore the thread-count bit-identity contract — under the noise
+  /// wrapper.
+  bool SolvesWholeBatch() const override {
+    return base_->SolvesWholeBatch();
+  }
+  Result<std::vector<SampleSet>> SolveBatchThreaded(
+      const std::vector<Qubo>& qubos, const SolverOptions& options,
+      int num_threads) override;
   std::string name() const override { return registry_name_; }
 
  private:

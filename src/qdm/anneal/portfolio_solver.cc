@@ -12,12 +12,14 @@ namespace anneal {
 namespace {
 
 /// Prefixes a per-member failure with its position and name, preserving the
-/// original code so callers can still dispatch on it.
-Status AnnotateRaceError(const Status& status, size_t index,
-                         const std::string& member) {
+/// original code so callers can still dispatch on it. `label` is the family
+/// framing: "race member" or "adaptive member".
+Status AnnotateMemberError(const Status& status, size_t index,
+                           const std::string& member,
+                           const std::string& label) {
   return Status(status.code(),
-                StrFormat("race member %zu ('%s'): %s", index, member.c_str(),
-                          status.message().c_str()));
+                StrFormat("%s %zu ('%s'): %s", label.c_str(), index,
+                          member.c_str(), status.message().c_str()));
 }
 
 /// Solves one race member. Folds an empty SampleSet into an Internal error
@@ -43,19 +45,23 @@ Result<std::vector<std::unique_ptr<QuboSolver>>> CreateMemberSolvers(
   for (size_t i = 0; i < members.size(); ++i) {
     Result<std::unique_ptr<QuboSolver>> solver =
         SolverRegistry::Global().Create(members[i]);
-    if (!solver.ok()) return AnnotateRaceError(solver.status(), i, members[i]);
+    if (!solver.ok()) {
+      return AnnotateMemberError(solver.status(), i, members[i],
+                                 "race member");
+    }
     solvers.push_back(std::move(solver).value());
   }
   return solvers;
 }
 
-/// The race core over already-constructed member backends (each member is
-/// solved by exactly one task, so one object per member satisfies the
-/// no-thread-safety contract). See SolveRaceParallel for the full contract.
-Result<SampleSet> RaceMembers(const std::vector<std::string>& members,
-                              const std::vector<QuboSolver*>& solvers,
-                              const Qubo& qubo, const SolverOptions& options,
-                              int num_threads) {
+}  // namespace
+
+Result<RaceOutcome> RaceMemberSolvers(const std::vector<std::string>& members,
+                                      const std::vector<QuboSolver*>& solvers,
+                                      const Qubo& qubo,
+                                      const SolverOptions& options,
+                                      int num_threads,
+                                      const std::string& member_label) {
   if (members.empty()) {
     return Status::InvalidArgument("a race needs at least one member backend");
   }
@@ -105,14 +111,16 @@ Result<SampleSet> RaceMembers(const std::vector<std::string>& members,
   if (winner < 0) {
     for (size_t i = 0; i < n; ++i) {
       if (!results[i].ok()) {
-        return AnnotateRaceError(results[i].status(), i, members[i]);
+        return AnnotateMemberError(results[i].status(), i, members[i],
+                                   member_label);
       }
     }
   }
-  return std::move(results[winner]).value();
+  RaceOutcome outcome;
+  outcome.winner = winner;
+  outcome.samples = std::move(results[winner]).value();
+  return outcome;
 }
-
-}  // namespace
 
 Result<SampleSet> SolveRaceParallel(const std::vector<std::string>& members,
                                     const Qubo& qubo,
@@ -128,7 +136,10 @@ Result<SampleSet> SolveRaceParallel(const std::vector<std::string>& members,
   std::vector<QuboSolver*> raw;
   raw.reserve(solvers.size());
   for (const auto& solver : solvers) raw.push_back(solver.get());
-  return RaceMembers(members, raw, qubo, options, num_threads);
+  QDM_ASSIGN_OR_RETURN(RaceOutcome outcome,
+                       RaceMemberSolvers(members, raw, qubo, options,
+                                         num_threads));
+  return std::move(outcome.samples);
 }
 
 PortfolioSolver::PortfolioSolver(
@@ -162,8 +173,10 @@ Result<SampleSet> PortfolioSolver::Solve(const Qubo& qubo,
   for (const auto& solver : member_solvers_) raw.push_back(solver.get());
   // A shared Rng can only be honored sequentially; seed-based solves hedge
   // across the shared pool (deadlock-free under SolveBatchParallel workers).
-  return RaceMembers(members_, raw, qubo, options,
-                     options.rng != nullptr ? 1 : 0);
+  QDM_ASSIGN_OR_RETURN(RaceOutcome outcome,
+                       RaceMemberSolvers(members_, raw, qubo, options,
+                                         options.rng != nullptr ? 1 : 0));
+  return std::move(outcome.samples);
 }
 
 Result<std::unique_ptr<QuboSolver>> MakePortfolioSolver(
@@ -194,6 +207,12 @@ Result<std::unique_ptr<QuboSolver>> MakePortfolioSolver(
     if (StartsWith(members[i], kPrefix)) {
       return Status::InvalidArgument(StrFormat(
           "nested race backends are not supported ('%s' inside '%s'): '+' "
+          "would be ambiguous",
+          members[i].c_str(), name.c_str()));
+    }
+    if (StartsWith(members[i], "adaptive:")) {
+      return Status::InvalidArgument(StrFormat(
+          "adaptive backends cannot be race members ('%s' inside '%s'): '+' "
           "would be ambiguous",
           members[i].c_str(), name.c_str()));
     }

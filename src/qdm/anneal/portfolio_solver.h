@@ -52,6 +52,29 @@ Result<SampleSet> SolveRaceParallel(const std::vector<std::string>& members,
                                     const SolverOptions& options,
                                     int num_threads = 0);
 
+/// Outcome of one race, exposing WHICH member won — the per-solve telemetry
+/// the adaptive:* selector (adaptive_solver.h) tallies into win counts.
+/// `samples` is the winning member's SampleSet verbatim.
+struct RaceOutcome {
+  int winner = 0;
+  SampleSet samples;
+};
+
+/// The race core over already-constructed member backends: members/solvers
+/// align 1:1, each member is solved by exactly one task (so one object per
+/// member satisfies the no-thread-safety contract), and the backends are
+/// the caller's to reuse across calls — member construction is non-trivial
+/// (an "embedded:*" member builds its topology graph; the backend cache
+/// only amortizes, not eliminates, that cost). Winner selection, rng/seed
+/// semantics, and num_threads modes follow the SolveRaceParallel contract
+/// above. `member_label` prefixes per-member failure annotations ("race
+/// member" for the race:* family, "adaptive member" for adaptive:*).
+Result<RaceOutcome> RaceMemberSolvers(
+    const std::vector<std::string>& members,
+    const std::vector<QuboSolver*>& solvers, const Qubo& qubo,
+    const SolverOptions& options, int num_threads,
+    const std::string& member_label = "race member");
+
 /// QuboSolver combinator presenting a solver portfolio behind one registry
 /// name: Solve races the members via SolveRaceParallel (sequentially when
 /// options.rng is set, across the shared ThreadPool otherwise) and SolveBatch

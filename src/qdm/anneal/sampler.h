@@ -2,6 +2,7 @@
 #define QDM_ANNEAL_SAMPLER_H_
 
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "qdm/anneal/qubo.h"
@@ -42,9 +43,19 @@ class SampleSet {
   double noise_fidelity() const { return noise_fidelity_; }
   void set_noise_fidelity(double fidelity) { noise_fidelity_ = fidelity; }
 
+  /// Which member an adaptive:* portfolio ran for this solve, recorded as
+  /// "<phase>:<arm>:<member>" with phase "explore" (all members raced, arm
+  /// won) or "commit" (only member `arm` ran) — see adaptive_solver.h for
+  /// the grammar and ReplayAdaptiveDecision for bit-exact replay. Empty for
+  /// every non-adaptive backend; rides the wire format
+  /// backward-compatibly (emitted only when non-empty).
+  const std::string& decision() const { return decision_; }
+  void set_decision(std::string decision) { decision_ = std::move(decision); }
+
  private:
   std::vector<Sample> samples_;
   double noise_fidelity_ = 1.0;
+  std::string decision_;
 };
 
 /// Abstract QUBO sampler — the "quantum computer" interface of the annealing

@@ -1,5 +1,6 @@
 #include "qdm/anneal/solver.h"
 
+#include <algorithm>
 #include <optional>
 #include <utility>
 
@@ -13,20 +14,12 @@
 namespace qdm {
 namespace anneal {
 
-namespace {
-
-/// Prefixes a per-instance failure with its batch position, preserving the
-/// original code so callers can still dispatch on it. Batches of one keep
-/// the bare error: the single-shot entry points are batch-of-one wrappers
-/// and their callers never asked for batch framing.
-Status AnnotateBatchError(const Status& status, size_t index,
-                          size_t batch_size) {
+Status AnnotateBatchInstanceError(const Status& status, size_t index,
+                                  size_t batch_size) {
   if (batch_size <= 1) return status;
   return Status(status.code(), StrFormat("batch instance %zu: %s", index,
                                          status.message().c_str()));
 }
-
-}  // namespace
 
 Result<std::vector<Sample>> BestOfEach(const std::vector<SampleSet>& sets,
                                        const std::string& solver_name) {
@@ -34,7 +27,7 @@ Result<std::vector<Sample>> BestOfEach(const std::vector<SampleSet>& sets,
   best.reserve(sets.size());
   for (size_t i = 0; i < sets.size(); ++i) {
     if (sets[i].empty()) {
-      return AnnotateBatchError(
+      return AnnotateBatchInstanceError(
           Status::Internal(StrFormat("solver '%s' returned an empty sample "
                                      "set",
                                      solver_name.c_str())),
@@ -62,11 +55,20 @@ Result<std::vector<SampleSet>> QuboSolver::SolveBatch(
             ? Solve(qubos[i], options)
             : Solve(qubos[i], DeriveBatchOptions(options, i));
     if (!result.ok()) {
-      return AnnotateBatchError(result.status(), i, qubos.size());
+      return AnnotateBatchInstanceError(result.status(), i, qubos.size());
     }
     results.push_back(std::move(result).value());
   }
   return results;
+}
+
+Result<std::vector<SampleSet>> QuboSolver::SolveBatchThreaded(
+    const std::vector<Qubo>& qubos, const SolverOptions& options,
+    int num_threads) {
+  // Default: the sequential reference. Only whole-batch backends
+  // (SolvesWholeBatch() == true) override this with a parallel schedule.
+  (void)num_threads;
+  return SolveBatch(qubos, options);
 }
 
 Result<std::vector<SampleSet>> SolveBatchParallel(
@@ -86,27 +88,38 @@ Result<std::vector<SampleSet>> SolveBatchParallel(
                          SolverRegistry::Global().Create(solver_name));
     return solver->SolveBatch(qubos, options);
   }
-  // Surface an unknown solver name before any threads spin up.
-  QDM_ASSIGN_OR_RETURN(std::unique_ptr<QuboSolver> probe,
-                       SolverRegistry::Global().Create(solver_name));
-  probe.reset();
-  // Each instance gets its own backend object: QuboSolver implementations
-  // are not required to be thread-safe, and construction is trivial for
-  // every registered backend. ParallelFor's dynamic index scheduling keeps
-  // uneven per-instance costs balanced across workers.
+  // One backend per WORKER, not per instance: construction is no longer
+  // assumed trivial — an embedded:* backend builds a topology graph (now
+  // amortized by backend_cache.h, but still not free) — so each worker
+  // builds one backend up front and reuses it across every instance it
+  // drains. That reuse is sound because a backend object is never shared
+  // across threads and Solve is required to be a pure function of
+  // (qubo, options) on this path; backends with cross-call Solve state opt
+  // out via the SolvesWholeBatch() hook below. Building the backends here,
+  // before any threads spin up, also surfaces unknown-name errors early.
+  const int workers = std::min(num_threads, static_cast<int>(n));
+  std::vector<std::unique_ptr<QuboSolver>> backends;
+  backends.reserve(workers);
+  for (int w = 0; w < workers; ++w) {
+    QDM_ASSIGN_OR_RETURN(std::unique_ptr<QuboSolver> backend,
+                         SolverRegistry::Global().Create(solver_name));
+    backends.push_back(std::move(backend));
+  }
+  // A backend with cross-instance Solve state (the adaptive:* selector)
+  // orchestrates the whole batch itself so its schedule cannot depend on
+  // which worker drained which instance.
+  if (backends[0]->SolvesWholeBatch()) {
+    return backends[0]->SolveBatchThreaded(qubos, options, num_threads);
+  }
+  // ParallelForWorkers' dynamic index scheduling keeps uneven per-instance
+  // costs balanced across workers.
   std::vector<SampleSet> results(n);
   std::vector<Status> statuses(n);
-  ThreadPool::ParallelFor(
+  ThreadPool::ParallelForWorkers(
       num_threads, static_cast<int>(n),
-      [&solver_name, &qubos, &options, &results, &statuses](int i) {
-        Result<std::unique_ptr<QuboSolver>> solver =
-            SolverRegistry::Global().Create(solver_name);
-        if (!solver.ok()) {
-          statuses[i] = solver.status();
-          return;
-        }
-        Result<SampleSet> result =
-            (*solver)->Solve(qubos[i], DeriveBatchOptions(options, i));
+      [&backends, &qubos, &options, &results, &statuses](int worker, int i) {
+        Result<SampleSet> result = backends[worker]->Solve(
+            qubos[i], DeriveBatchOptions(options, i));
         if (result.ok()) {
           results[i] = std::move(result).value();
         } else {
@@ -114,7 +127,7 @@ Result<std::vector<SampleSet>> SolveBatchParallel(
         }
       });
   for (size_t i = 0; i < n; ++i) {
-    if (!statuses[i].ok()) return AnnotateBatchError(statuses[i], i, n);
+    if (!statuses[i].ok()) return AnnotateBatchInstanceError(statuses[i], i, n);
   }
   return results;
 }

@@ -129,6 +129,28 @@ class QuboSolver {
   virtual Result<std::vector<SampleSet>> SolveBatch(
       const std::vector<Qubo>& qubos, const SolverOptions& options);
 
+  /// Whole-batch orchestration hook. SolveBatchParallel's fan-out reuses one
+  /// backend per worker and assigns instances to workers dynamically, which
+  /// requires Solve to be a pure function of (qubo, options). A backend
+  /// whose Solve carries state across calls — the adaptive:* selector's
+  /// explore/commit counter is the in-tree case — returns true here, and
+  /// SolveBatchParallel hands it the WHOLE batch via SolveBatchThreaded so
+  /// the backend can keep its cross-instance schedule deterministic while
+  /// still parallelizing internally. Wrappers around such a backend must
+  /// forward both hooks (see NoisySolver).
+  virtual bool SolvesWholeBatch() const { return false; }
+
+  /// Batch entry with a thread budget, used by SolveBatchParallel when
+  /// SolvesWholeBatch() is true. Overrides must preserve the SolveBatch
+  /// contract above plus the parallel fan-out's guarantees: results
+  /// bit-identical for every num_threads value (num_threads <= 0 meaning
+  /// ThreadPool::DefaultNumThreads()), and options.rng rejected as
+  /// InvalidArgument unless num_threads == 1. The default ignores
+  /// num_threads and runs the sequential SolveBatch reference.
+  virtual Result<std::vector<SampleSet>> SolveBatchThreaded(
+      const std::vector<Qubo>& qubos, const SolverOptions& options,
+      int num_threads);
+
   /// Registry key and report-table label ("simulated_annealing", ...).
   virtual std::string name() const = 0;
 };
@@ -165,7 +187,9 @@ class SolverRegistry {
 
   /// True when `name` is exactly registered or a prefix resolver accepts it
   /// (the resolver is invoked, so this constructs and discards a backend —
-  /// construction is trivial for every in-tree solver).
+  /// cheap for the plain solvers, and kept cheap for embedded:* by the
+  /// topology/embedding cache in backend_cache.h; prefer Create when the
+  /// instance is wanted anyway).
   bool Contains(const std::string& name) const;
 
   /// Exactly-registered names, sorted. Prefix-resolved families are
@@ -207,10 +231,14 @@ Result<Sample> SolveForBest(const std::string& solver_name, const Qubo& qubo,
 ///    backend's SolveBatch (the only mode that honors options.rng).
 ///  - num_threads <= 0: uses ThreadPool::DefaultNumThreads().
 ///  - num_threads > 1: fans instances out across min(num_threads, batch
-///    size) workers via ThreadPool::ParallelFor (dynamic index scheduling),
-///    one backend instance per instance (QuboSolver implementations are not
-///    required to be thread-safe). Requires options.rng == nullptr
-///    (InvalidArgument otherwise): a shared RNG cannot fan out.
+///    size) workers via ThreadPool::ParallelForWorkers (dynamic index
+///    scheduling), one backend instance per WORKER, reused across every
+///    instance that worker drains (QuboSolver implementations are not
+///    required to be thread-safe, but one object is never shared across
+///    threads). Requires options.rng == nullptr (InvalidArgument
+///    otherwise): a shared RNG cannot fan out. Backends that report
+///    SolvesWholeBatch() are instead handed the whole batch once via
+///    SolveBatchThreaded (see QuboSolver).
 ///
 /// Determinism guarantee: with options.rng == nullptr, instance i is always
 /// solved with seed options.seed + i, so the returned SampleSets are
@@ -225,6 +253,15 @@ Result<std::vector<SampleSet>> SolveBatchParallel(
 /// uint64 arithmetic). Exposed so SolveBatch overrides and tests can
 /// reproduce exactly what the default implementations do.
 SolverOptions DeriveBatchOptions(const SolverOptions& options, size_t index);
+
+/// Prefixes a per-instance failure with its batch position ("batch instance
+/// <i>: ..."), preserving the original code so callers can still dispatch on
+/// it. Batches of one keep the bare error: the single-shot entry points are
+/// batch-of-one wrappers and their callers never asked for batch framing.
+/// Exposed so SolveBatchThreaded overrides frame their per-instance errors
+/// exactly like the sequential reference.
+Status AnnotateBatchInstanceError(const Status& status, size_t index,
+                                  size_t batch_size);
 
 /// Maps each SampleSet of a batch to its lowest-energy sample, converting an
 /// empty set into an Internal error naming the batch instance — the batch

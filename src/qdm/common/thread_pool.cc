@@ -110,6 +110,25 @@ void ThreadPool::ParallelFor(int num_threads, int n,
   pool.Wait();
 }
 
+void ThreadPool::ParallelForWorkers(
+    int num_threads, int n,
+    const std::function<void(int worker, int i)>& body) {
+  if (n <= 0) return;
+  ThreadPool pool(num_threads);
+  // Same dynamic scheduling as ParallelFor; the submitted task's loop index
+  // within the pool is the worker id handed to body.
+  std::atomic<int> next{0};
+  const int tasks = std::min(pool.num_threads(), n);
+  for (int t = 0; t < tasks; ++t) {
+    pool.Submit([&next, n, &body, t] {
+      for (int i = next.fetch_add(1); i < n; i = next.fetch_add(1)) {
+        body(t, i);
+      }
+    });
+  }
+  pool.Wait();
+}
+
 void ThreadPool::WorkerLoop() {
   for (;;) {
     std::function<void()> task;

@@ -72,6 +72,18 @@ class ThreadPool {
   static void ParallelFor(int num_threads, int n,
                           const std::function<void(int)>& body);
 
+  /// ParallelFor variant that also hands body the stable id of the worker
+  /// running it: body(worker, i) with worker in [0, min(num_threads, n)).
+  /// Each worker drains indices off the shared counter, so all iterations a
+  /// given worker runs see the same `worker` value — the seam that lets
+  /// callers reuse one expensive per-worker resource (e.g. a solver backend)
+  /// across every index that worker picks up, instead of recreating it per
+  /// index. Which indices land on which worker is still dynamic, so such
+  /// resources must not make body's result depend on the pairing.
+  static void ParallelForWorkers(
+      int num_threads, int n,
+      const std::function<void(int worker, int i)>& body);
+
  private:
   void WorkerLoop();
 

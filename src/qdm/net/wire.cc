@@ -336,14 +336,22 @@ void AppendSampleSetJson(const SampleSet& samples, std::string* out) {
     *out += ",\"noise_fidelity\":";
     JsonAppendDouble(samples.noise_fidelity(), out);
   }
+  // Same conditional-field discipline: only adaptive:* solves carry a
+  // decision record, so every other payload stays byte-identical to the
+  // v1 wire format. The record is what makes a remote adaptive solve
+  // replayable bit-exactly (anneal::ReplayAdaptiveDecision).
+  if (!samples.decision().empty()) {
+    *out += ",\"decision\":";
+    JsonAppendQuoted(samples.decision(), out);
+  }
   out->push_back('}');
 }
 
 Result<SampleSet> DecodeSampleSet(const JsonValue& value,
                                   const std::string& field) {
   if (!value.is_object()) return TypeError(field, "a JSON object", value);
-  QDM_RETURN_IF_ERROR(
-      RejectUnknownFields(value, field, {"samples", "noise_fidelity"}));
+  QDM_RETURN_IF_ERROR(RejectUnknownFields(
+      value, field, {"samples", "noise_fidelity", "decision"}));
   const JsonValue* samples = value.Find("samples");
   if (samples == nullptr) return MissingError(field + ".samples");
   if (!samples->is_array()) {
@@ -400,6 +408,13 @@ Result<SampleSet> DecodeSampleSet(const JsonValue& value,
       const double fidelity,
       DecodeDoubleField(value, field, "noise_fidelity", 1.0));
   set.set_noise_fidelity(fidelity);
+  const JsonValue* decision = value.Find("decision");
+  if (decision != nullptr) {
+    if (!decision->is_string()) {
+      return TypeError(field + ".decision", "a string", *decision);
+    }
+    set.set_decision(decision->string_value());
+  }
   return set;
 }
 

@@ -62,7 +62,12 @@ Result<JsonValue> ParseEnvelope(const std::string& text);
 //                see DecodeSolverOptions; "chain_break_policy" travels
 //                by name ("majority_vote" | "minimize_energy" | "discard")}
 // SampleSet     {"samples": [{"assignment": [0|1...], "energy": x,
-//                "chain_break_fraction": x}...]}
+//                "chain_break_fraction": x}...]} plus two conditional
+//                fields omitted at their defaults so v1 payloads stay
+//                byte-identical: "noise_fidelity" (when != 1.0, from a
+//                noisy:* backend) and "decision" (when non-empty, the
+//                adaptive:* "<phase>:<arm>:<member>" record that
+//                ReplayAdaptiveDecision replays bit-exactly)
 //
 // Append* writes the canonical encoding (all fields, stable order) to
 // `out`; Decode* accepts any field order, defaults omitted option knobs,

@@ -18,7 +18,8 @@ namespace qopt {
 /// data-management problem as a Qubo, dispatch it by NAME through the
 /// QuboSolver registry (any name works — "simulated_annealing",
 /// "embedded:<base>:<topology>", "race:<b1>+<b2>",
-/// "noisy:<model>:<base>", ...), and strict-decode the best
+/// "noisy:<model>:<base>", "adaptive:<b1>+<b2>", ...), and
+/// strict-decode the best
 /// (lowest-energy) sample back into a domain solution. SolverOptions pass
 /// through untouched — including the noise knob, so every application runs
 /// under a NISQ noise model by just switching the solver name

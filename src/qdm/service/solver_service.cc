@@ -22,17 +22,6 @@ using anneal::SampleSet;
 using anneal::SolverOptions;
 using Clock = std::chrono::steady_clock;
 
-/// Mirrors the batch-error framing of anneal::SolveBatchParallel (see
-/// solver.cc) so a failure travels through the async path with exactly the
-/// message the synchronous path produces: annotated with its instance index
-/// for real batches, bare for batches of one.
-Status AnnotateBatchError(const Status& status, size_t index,
-                          size_t batch_size) {
-  if (batch_size <= 1) return status;
-  return Status(status.code(), StrFormat("batch instance %zu: %s", index,
-                                         status.message().c_str()));
-}
-
 unsigned long long AsULL(JobId id) {
   return static_cast<unsigned long long>(id);
 }
@@ -300,7 +289,9 @@ void SolverService::Impl::RunJob(const std::shared_ptr<Impl>& impl,
     Result<SampleSet> result = job->backend->Solve(
         job->qubos[i], anneal::DeriveBatchOptions(job->options, i));
     if (!result.ok()) {
-      failure = AnnotateBatchError(result.status(), i, n);
+      // anneal::AnnotateBatchInstanceError keeps the async path's framing
+      // identical to the synchronous SolveBatchParallel one.
+      failure = anneal::AnnotateBatchInstanceError(result.status(), i, n);
       break;
     }
     results.push_back(std::move(result).value());

@@ -55,6 +55,7 @@ Qubo MakeQubo(int num_variables, uint64_t seed) {
 bool SampleSetsEqual(const SampleSet& a, const SampleSet& b) {
   if (a.size() != b.size()) return false;
   if (a.noise_fidelity() != b.noise_fidelity()) return false;
+  if (a.decision() != b.decision()) return false;
   for (size_t i = 0; i < a.size(); ++i) {
     if (a.samples()[i].energy != b.samples()[i].energy ||
         a.samples()[i].assignment != b.samples()[i].assignment ||

@@ -79,6 +79,7 @@ bool QubosBitEqual(const Qubo& a, const Qubo& b) {
 
 bool SampleSetsBitEqual(const SampleSet& a, const SampleSet& b) {
   if (a.size() != b.size()) return false;
+  if (a.decision() != b.decision()) return false;
   for (size_t i = 0; i < a.size(); ++i) {
     const Sample& sa = a.samples()[i];
     const Sample& sb = b.samples()[i];
@@ -282,6 +283,30 @@ TEST(WireSampleSetTest, EqualEnergyTiesKeepTheirOrder) {
   EXPECT_EQ(first, second);
 }
 
+TEST(WireSampleSetTest, DecisionFieldIsConditionalAndRoundTrips) {
+  // Without a decision the field is omitted entirely — pre-adaptive v1
+  // payloads stay byte-identical.
+  SampleSet plain;
+  Sample sample;
+  sample.assignment = {1, 0};
+  sample.energy = -2.5;
+  plain.Add(sample);
+  std::string without;
+  AppendSampleSetJson(plain, &without);
+  EXPECT_EQ(without.find("decision"), std::string::npos);
+
+  // With one, it round-trips exactly (and only adds the one field).
+  SampleSet decided = plain;
+  decided.set_decision("commit:1:tabu_search");
+  std::string with;
+  AppendSampleSetJson(decided, &with);
+  EXPECT_NE(with.find("\"decision\":\"commit:1:tabu_search\""),
+            std::string::npos);
+  SampleSet decoded = RoundTripSampleSet(decided);
+  EXPECT_EQ(decoded.decision(), "commit:1:tabu_search");
+  EXPECT_TRUE(SampleSetsBitEqual(decided, decoded));
+}
+
 TEST(WireSampleSetTest, EmptyAndDegenerateSetsRoundTrip) {
   EXPECT_TRUE(SampleSetsBitEqual(SampleSet(), RoundTripSampleSet({})));
 
@@ -481,6 +506,12 @@ TEST(WireTaxonomyTest, WrongTypesNameTheOffendingField) {
           "\"qubo\":{\"num_variables\":1,\"linear\":[0]},"
           "\"options\":{\"num_reads\":\"many\"}}"),
       "request.options.num_reads");
+  {
+    Result<JsonValue> parsed =
+        JsonParse("{\"samples\":[],\"decision\":7}");
+    ASSERT_TRUE(parsed.ok()) << parsed.status();
+    ExpectRejected(DecodeSampleSet(*parsed, "set"), "set.decision");
+  }
 }
 
 TEST(WireTaxonomyTest, UnknownFieldsAreRejected) {
